@@ -1,0 +1,84 @@
+// Extension experiment: repeat visits, cache digests, and hints.
+//
+// The paper (§2.1) observes that H2 has no cache-status signal: "by the
+// time a client cancels the push, the object can be already in flight", and
+// points at draft-ietf-httpbis-cache-digest and MetaPush [20] as remedies.
+// This bench quantifies that gap in the testbed:
+//   cold visit : push-all vs no-push vs hint-all (Vroom/MetaPush baseline)
+//   warm visit : the client has everything cached —
+//                 * plain push-all wastes the pushed bytes (cancel races),
+//                 * push-all + CACHE_DIGEST skips them server-side.
+#include "bench/common.h"
+#include "core/dependency.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "stats/descriptive.h"
+#include "web/corpus.h"
+
+using namespace h2push;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const int n_sites = quick ? 10 : 40;
+  const int runs = quick ? 5 : 15;
+  bench::header("Extension — cache digests and server-aided hints",
+                "paper §2.1 (cache-status drafts) + MetaPush/Vroom baselines");
+  bench::Stopwatch watch;
+
+  auto profile = web::PopulationProfile::random100();
+  profile.single_origin_prob = 0.5;  // push-friendly population
+  const auto sites = web::generate_population(profile, n_sites, 0xCD1);
+
+  struct Arm {
+    const char* label;
+    bool warm;
+    bool digest;
+    bool hints;
+    bool push;
+  };
+  const Arm arms[] = {
+      {"cold / no push", false, false, false, false},
+      {"cold / push all", false, false, false, true},
+      {"cold / hint all", false, false, true, false},
+      {"warm / no push", true, false, false, false},
+      {"warm / push all", true, false, false, true},
+      {"warm / push all + digest", true, true, false, true},
+  };
+
+  std::printf("%-26s %10s %12s %12s %10s\n", "arm", "PLT [ms]", "SI [ms]",
+              "wasted KB", "cancels");
+  for (const Arm& arm : arms) {
+    std::vector<double> plt, si, wasted, cancels;
+    for (const auto& site : sites) {
+      core::RunConfig cfg;
+      const auto order = core::compute_push_order(site, cfg, 5);
+      core::Strategy strategy = core::no_push();
+      if (arm.push) strategy = core::push_all(site, order.order);
+      if (arm.hints) strategy = core::hint_all(site, order.order);
+      if (arm.warm) {
+        for (const auto& url : web::resource_urls(site)) {
+          cfg.browser.cached_urls.insert(url);
+        }
+      }
+      cfg.browser.send_cache_digest = arm.digest;
+      const auto results = core::run_repeated(site, strategy, cfg, runs);
+      for (const auto& r : results) {
+        plt.push_back(r.plt_ms);
+        si.push_back(r.speed_index_ms);
+        // On a warm visit every pushed byte is waste.
+        wasted.push_back(arm.warm ? static_cast<double>(r.bytes_pushed) /
+                                        1024.0
+                                  : 0.0);
+        cancels.push_back(static_cast<double>(r.pushes_cancelled));
+      }
+    }
+    std::printf("%-26s %10.1f %12.1f %12.1f %10.1f\n", arm.label,
+                stats::median(plt), stats::median(si), stats::mean(wasted),
+                stats::mean(cancels));
+  }
+  std::printf(
+      "\nThe digest removes the cancel race entirely: the server never\n"
+      "promises what the client holds, so the warm visit pushes 0 bytes.\n");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 2(b): Δ (median over 31 runs) between pushing the objects the wild
+// deployment pushed and the no-push configuration, in the testbed.
+// Δ < 0 means push is better. Paper anchor: no benefit for 49 % of sites in
+// PLT and 35 % in SpeedIndex — push helps some sites and hurts others even
+// under deterministic conditions.
+#include "bench/common.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "web/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace h2push;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int n_sites = quick ? 20 : 100;
+  const int runs = quick ? 9 : 31;
+  bench::header("Fig. 2b — Δ(push - no push) in the testbed",
+                "Zimmermann et al., CoNEXT'18, Figure 2(b)");
+  bench::Stopwatch watch;
+
+  auto profile = web::PopulationProfile::random100();
+  profile.mark_recorded_push = true;
+  const auto sites = web::generate_population(profile, n_sites, 0xF2B);
+
+  stats::Cdf delta_plt, delta_si;
+  for (const auto& site : sites) {
+    core::RunConfig cfg;
+    const auto push = core::collect(
+        core::run_repeated(site, core::push_recorded(site), cfg, runs));
+    const auto nopush = core::collect(
+        core::run_repeated(site, core::no_push(), cfg, runs));
+    delta_plt.add(push.plt_median() - nopush.plt_median());
+    delta_si.add(push.si_median() - nopush.si_median());
+  }
+
+  std::printf("%-22s %12s %12s\n", "", "dPLT [ms]", "dSI [ms]");
+  for (int p = 0; p <= 100; p += 10) {
+    std::printf("p%-3d %29.1f %12.1f\n", p,
+                delta_plt.value_at(p / 100.0), delta_si.value_at(p / 100.0));
+  }
+  std::printf("\nsites with no benefit (delta >= 0): PLT %.0f%%  SI %.0f%%\n",
+              100 * (1 - delta_plt.fraction_below(-1e-9)),
+              100 * (1 - delta_si.fraction_below(-1e-9)));
+  std::printf("paper: no benefit for 49%% (PLT) / 35%% (SI) of sites\n");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

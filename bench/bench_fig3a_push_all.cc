@@ -1,0 +1,50 @@
+// Fig. 3(a): push ALL pushable objects in the computed (dependency-analysis,
+// majority-vote) request order vs. no push. ΔSpeedIndex CDFs for the top-100
+// and random-100 sets. Paper anchor: only 58 % (top) / 45 % (random) of
+// sites benefit in SpeedIndex — "push everything" is not a safe default.
+#include "bench/common.h"
+#include "core/dependency.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "web/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace h2push;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int n_sites = quick ? 15 : 100;
+  const int runs = quick ? 7 : 31;
+  const int order_runs = quick ? 5 : 31;
+  bench::header("Fig. 3a — push all (computed order) vs no push",
+                "Zimmermann et al., CoNEXT'18, Figure 3(a)");
+  bench::Stopwatch watch;
+
+  for (const bool top : {true, false}) {
+    const auto profile = top ? web::PopulationProfile::top100()
+                             : web::PopulationProfile::random100();
+    const auto sites =
+        web::generate_population(profile, n_sites, top ? 0xF3A1 : 0xF3A2);
+    stats::Cdf delta_si, delta_plt;
+    for (const auto& site : sites) {
+      core::RunConfig cfg;
+      const auto order = core::compute_push_order(site, cfg, order_runs);
+      const auto push = core::collect(core::run_repeated(
+          site, core::push_all(site, order.order), cfg, runs));
+      const auto nopush = core::collect(
+          core::run_repeated(site, core::no_push(), cfg, runs));
+      delta_si.add(push.si_median() - nopush.si_median());
+      delta_plt.add(push.plt_median() - nopush.plt_median());
+    }
+    std::printf("\n%s: dSI CDF deciles [ms]:", profile.label.c_str());
+    for (int p = 0; p <= 100; p += 20) {
+      std::printf(" p%d=%.0f", p, delta_si.value_at(p / 100.0));
+    }
+    std::printf("\n  sites improving (dSI < 0): %.0f%%   (paper: %s)\n",
+                100 * delta_si.fraction_below(-1e-9), top ? "58%" : "45%");
+    std::printf("  sites improving (dPLT < 0): %.0f%%\n",
+                100 * delta_plt.fraction_below(-1e-9));
+  }
+  std::printf("\nelapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 5(b): the motivating example for interleaving push. A test website
+// references one CSS in <head>; the <body> size is varied. Three arms:
+//   no push       — the browser requests the CSS; Chromium's priority chain
+//                   makes it a child of the HTML stream, so the server
+//                   sends it after the full HTML,
+//   push          — default h2o scheduler: the pushed CSS is a child of the
+//                   parent stream, which does not block → same behaviour,
+//   interleaving  — modified scheduler: hard switch to the CSS after a
+//                   fixed offset, then the HTML continues.
+// Paper anchor: no push and push grow with the document size and perform
+// alike; interleaving yields a nearly constant (and faster) SpeedIndex.
+#include "bench/common.h"
+#include "core/critical_css.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "stats/descriptive.h"
+#include "web/site.h"
+
+int main(int argc, char** argv) {
+  using namespace h2push;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int runs = quick ? 7 : 31;
+  bench::header("Fig. 5b — SpeedIndex vs HTML size, interleaving push",
+                "Zimmermann et al., CoNEXT'18, Figure 5(b)");
+  bench::Stopwatch watch;
+
+  std::printf("%-10s %18s %18s %18s\n", "HTML [KB]", "no push [ms]",
+              "push [ms]", "interleaving [ms]");
+
+  for (int kb = 10; kb <= 90; kb += 10) {
+    web::PagePlan plan;
+    plan.name = "fig5-" + std::to_string(kb);
+    plan.primary_host = "test.fig5.example";
+    plan.html_size = static_cast<std::size_t>(kb) * 1024;
+    plan.text_blocks = std::max(8, kb);
+    plan.above_fold_text_blocks = 3;
+    plan.host_ip[plan.primary_host] = "10.0.0.1";
+    web::ResourcePlan css;
+    css.path = "/style.css";
+    css.host = plan.primary_host;
+    css.type = http::ResourceType::kCss;
+    css.size = 24 * 1024;
+    css.placement = web::ResourcePlan::Placement::kHead;
+    plan.resources.push_back(css);
+    const auto site = web::build_site(plan);
+    const std::string css_url = "https://test.fig5.example/style.css";
+
+    core::Strategy push = core::push_list("push", {css_url});
+    core::Strategy interleave = core::push_list("interleave", {css_url});
+    interleave.interleaving = true;
+    interleave.interleave_offset = core::head_end_offset(site);
+
+    double means[3], devs[3];
+    const core::Strategy* arms[3] = {nullptr, &push, &interleave};
+    const core::Strategy nopush = core::no_push();
+    arms[0] = &nopush;
+    for (int a = 0; a < 3; ++a) {
+      core::RunConfig cfg;
+      const auto series =
+          core::collect(core::run_repeated(site, *arms[a], cfg, runs));
+      means[a] = stats::mean(series.speed_index_ms);
+      devs[a] = stats::stddev(series.speed_index_ms);
+    }
+    std::printf("%-10d %11.0f ± %-4.0f %11.0f ± %-4.0f %11.0f ± %-4.0f\n", kb,
+                means[0], devs[0], means[1], devs[1], means[2], devs[2]);
+  }
+  std::printf(
+      "\npaper: no-push ≈ push, both grow with HTML size (~200→400ms); "
+      "interleaving stays flat (~200ms)\n");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Baseline comparison: HTTP/1.1 (6 connections/origin) vs HTTP/2 vs
+// HTTP/2 + Server Push, over the random-100 corpus and the synthetic
+// sites — the framing of the paper's introduction and related work
+// ("How speedy is SPDY?" [37], "Is the Web HTTP/2 yet?" [35]): H2 helps
+// most pages, especially many-small-object ones; push adds (at best) a
+// little more on top.
+#include "bench/common.h"
+#include "core/dependency.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "web/corpus.h"
+#include "web/profiles.h"
+
+using namespace h2push;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const int n_sites = quick ? 12 : 50;
+  const int runs = quick ? 5 : 15;
+  bench::header("Baseline — HTTP/1.1 vs HTTP/2 vs HTTP/2 + push",
+                "paper §1/§3 framing; Wang et al. [37], Varvello et al. [35]");
+  bench::Stopwatch watch;
+
+  const auto sites = web::generate_population(
+      web::PopulationProfile::random100(), n_sites, 0x41B1);
+
+  struct Conditions {
+    const char* label;
+    sim::NetworkConditions net;
+  };
+  Conditions arms[2] = {{"DSL 16/1 Mbit, 50 ms", sim::NetworkConditions::testbed()},
+                        {"3G 1.6/0.75 Mbit, 150 ms", sim::NetworkConditions::testbed()}};
+  arms[1].net.down_bps = 1.6e6;
+  arms[1].net.up_bps = 0.75e6;
+  arms[1].net.base_rtt = sim::from_ms(150);
+
+  for (const auto& cond : arms) {
+    stats::Cdf h2_vs_h1_plt, h2_vs_h1_si, push_vs_h2_plt;
+    int h2_better = 0;
+    for (const auto& site : sites) {
+      core::RunConfig cfg;
+      cfg.net = cond.net;
+      const auto order = core::compute_push_order(site, cfg, 5);
+
+      core::RunConfig h1_cfg = cfg;
+      h1_cfg.browser.use_http1 = true;
+      const auto h1 = core::collect(
+          core::run_repeated(site, core::no_push(), h1_cfg, runs));
+      const auto h2 = core::collect(
+          core::run_repeated(site, core::no_push(), cfg, runs));
+      const auto push = core::collect(core::run_repeated(
+          site, core::push_all(site, order.order), cfg, runs));
+
+      h2_vs_h1_plt.add((h2.plt_median() - h1.plt_median()) /
+                       h1.plt_median() * 100.0);
+      h2_vs_h1_si.add((h2.si_median() - h1.si_median()) / h1.si_median() *
+                      100.0);
+      push_vs_h2_plt.add((push.plt_median() - h2.plt_median()) /
+                         h2.plt_median() * 100.0);
+      if (h2.plt_median() < h1.plt_median()) ++h2_better;
+    }
+
+    std::printf("\n--- %s ---\n", cond.label);
+    std::printf("H2 vs H1.1 relative PLT change (negative = H2 faster):\n");
+    std::printf("  p10 %+6.1f%%  p25 %+6.1f%%  p50 %+6.1f%%  p75 %+6.1f%%  "
+                "p90 %+6.1f%%\n",
+                h2_vs_h1_plt.value_at(0.1), h2_vs_h1_plt.value_at(0.25),
+                h2_vs_h1_plt.value_at(0.5), h2_vs_h1_plt.value_at(0.75),
+                h2_vs_h1_plt.value_at(0.9));
+    std::printf("  H2 faster for %d of %d sites "
+                "(in the wild: ~80%% [35]; lab results favour H2 most under "
+                "constrained links [37])\n",
+                h2_better, n_sites);
+    std::printf("H2 vs H1.1 relative SI change: p50 %+.1f%%\n",
+                h2_vs_h1_si.value_at(0.5));
+    std::printf("push-all vs plain H2 PLT: p25 %+.1f%%  p50 %+.1f%%  "
+                "p75 %+.1f%%\n",
+                push_vs_h2_plt.value_at(0.25), push_vs_h2_plt.value_at(0.5),
+                push_vs_h2_plt.value_at(0.75));
+  }
+
+  std::printf("\nSynthetic extremes:\n");
+  for (const int idx : {3, 5}) {  // s3 gallery (many objects), s5 compute
+    const auto site = web::make_synthetic_site(idx);
+    core::RunConfig cfg;
+    core::RunConfig h1_cfg = cfg;
+    h1_cfg.browser.use_http1 = true;
+    const auto h1 = core::collect(
+        core::run_repeated(site, core::no_push(), h1_cfg, runs));
+    const auto h2 = core::collect(
+        core::run_repeated(site, core::no_push(), cfg, runs));
+    std::printf("  s%-2d  H1.1 PLT %7.1f ms   H2 PLT %7.1f ms   (%+.1f%%)\n",
+                idx, h1.plt_median(), h2.plt_median(),
+                (h2.plt_median() - h1.plt_median()) / h1.plt_median() * 100);
+  }
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks for the protocol substrate (google-benchmark): HPACK
+// encode/decode, Huffman coding, frame serialization/parsing, priority-tree
+// scheduling, and end-to-end simulated page loads. These guard the
+// simulator's throughput (the figure harnesses run tens of thousands of
+// page loads).
+#include <benchmark/benchmark.h>
+
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "h2/frame.h"
+#include "h2/hpack.h"
+#include "h2/hpack_huffman.h"
+#include "h2/priority.h"
+#include "web/corpus.h"
+
+namespace {
+
+using namespace h2push;
+
+http::HeaderBlock sample_headers() {
+  return {
+      {":method", "GET"},
+      {":scheme", "https"},
+      {":authority", "www.example.com"},
+      {":path", "/static/css/main.0a1b2c3d.css"},
+      {"accept", "text/html,application/xhtml+xml"},
+      {"accept-encoding", "gzip, deflate, br"},
+      {"user-agent", "Mozilla/5.0 (X11; Linux x86_64) Chrome/64.0"},
+      {"cookie", "session=0123456789abcdef0123456789abcdef"},
+  };
+}
+
+void BM_HpackEncode(benchmark::State& state) {
+  const auto headers = sample_headers();
+  h2::HpackEncoder encoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(headers));
+  }
+}
+BENCHMARK(BM_HpackEncode);
+
+void BM_HpackRoundTrip(benchmark::State& state) {
+  const auto headers = sample_headers();
+  h2::HpackEncoder encoder;
+  h2::HpackDecoder decoder;
+  for (auto _ : state) {
+    const auto bytes = encoder.encode(headers);
+    auto decoded = decoder.decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_HpackRoundTrip);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const std::string input =
+      "/very/long/path/with/segments/and-a-hash.0a1b2c3d4e5f.js";
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    h2::huffman_encode(input, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_FrameParse(benchmark::State& state) {
+  h2::DataFrame data;
+  data.stream_id = 5;
+  data.data.assign(16000, 0x42);
+  const auto wire = h2::serialize(h2::Frame{data});
+  for (auto _ : state) {
+    h2::FrameParser parser;
+    auto frames = parser.feed(wire);
+    benchmark::DoNotOptimize(frames);
+  }
+}
+BENCHMARK(BM_FrameParse);
+
+void BM_PriorityTreePick(benchmark::State& state) {
+  h2::PriorityTree tree;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 1; i <= n; ++i) {
+    tree.add(static_cast<std::uint32_t>(i * 2 + 1),
+             h2::PrioritySpec{static_cast<std::uint32_t>(
+                                  i > 1 ? (i - 1) * 2 + 1 : 0),
+                              16, false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.pick([](std::uint32_t id) { return id % 4 == 1; }));
+  }
+}
+BENCHMARK(BM_PriorityTreePick)->Arg(16)->Arg(128);
+
+void BM_PageLoad(benchmark::State& state) {
+  const auto profile = web::PopulationProfile::random100();
+  const auto site =
+      web::build_site(web::generate_page(profile, "bench-load", 99));
+  core::RunConfig cfg;
+  const auto strategy = core::no_push();
+  for (auto _ : state) {
+    cfg.run_index = static_cast<int>(state.iterations() % 1000);
+    benchmark::DoNotOptimize(core::run_page_load(site, strategy, cfg));
+  }
+}
+BENCHMARK(BM_PageLoad)->Unit(benchmark::kMillisecond);
+
+void BM_SiteGeneration(benchmark::State& state) {
+  const auto profile = web::PopulationProfile::top100();
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(web::build_site(
+        web::generate_page(profile, "gen-" + std::to_string(i++ % 64), 7)));
+  }
+}
+BENCHMARK(BM_SiteGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// §4.2 "Pushable Objects": how many of a site's objects reside on servers
+// under the pushing server's authority (same IP + SAN certificate)?
+// Paper anchor: 52 % of top-100 and 24 % of random-100 sites have < 20 %
+// pushable objects — many websites simply cannot push most of their page.
+#include "bench/common.h"
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "web/corpus.h"
+
+int main(int argc, char** argv) {
+  using namespace h2push;
+  const bool quick = bench::quick_mode(argc, argv);
+  const int n_sites = quick ? 30 : 100;
+  bench::header("§4.2 — fraction of pushable objects per site",
+                "Zimmermann et al., CoNEXT'18, Section 4.2");
+
+  for (const bool top : {true, false}) {
+    const auto profile = top ? web::PopulationProfile::top100()
+                             : web::PopulationProfile::random100();
+    const auto sites =
+        web::generate_population(profile, n_sites, top ? 0x542A : 0x542B);
+    stats::Cdf pushable_frac;
+    double objects_total = 0;
+    for (const auto& site : sites) {
+      const auto pushable = web::pushable_urls(site);
+      const double frac = site.plan.resources.empty()
+                              ? 0
+                              : static_cast<double>(pushable.size()) /
+                                    static_cast<double>(
+                                        site.plan.resources.size());
+      pushable_frac.add(frac);
+      objects_total += static_cast<double>(site.plan.resources.size());
+    }
+    std::printf("\n%s set (%d sites, avg %.0f objects):\n",
+                profile.label.c_str(), n_sites, objects_total / n_sites);
+    std::printf("  sites with <20%% pushable: %.0f%%   (paper: %s)\n",
+                100 * pushable_frac.fraction_below(0.2),
+                top ? "52%" : "24%");
+    std::printf("  pushable fraction deciles:");
+    for (int p = 0; p <= 100; p += 25) {
+      std::printf("  p%d=%.2f", p, pushable_frac.value_at(p / 100.0));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

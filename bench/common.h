@@ -1,0 +1,44 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Each harness prints the rows/series the paper reports plus
+// the paper's anchor numbers for comparison; EXPERIMENTS.md records both.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace h2push::bench {
+
+/// --quick (or H2PUSH_QUICK=1) shrinks populations/run counts for fast
+/// iteration; the default is paper-faithful scale.
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  const char* env = std::getenv("H2PUSH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace h2push::bench

@@ -1,0 +1,59 @@
+// Explore the generated website populations: structure distributions and
+// the §4.2 pushable-objects statistic, per profile.
+//
+//   $ ./build/examples/corpus_explorer [count]
+#include <cstdio>
+#include <cstdlib>
+
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "web/corpus.h"
+
+using namespace h2push;
+
+int main(int argc, char** argv) {
+  const int count = argc > 1 ? std::atoi(argv[1]) : 40;
+  for (const bool top : {true, false}) {
+    const auto profile = top ? web::PopulationProfile::top100()
+                             : web::PopulationProfile::random100();
+    const auto sites = web::generate_population(profile, count, 1234);
+
+    std::vector<double> objects, html_kb, hosts, pushable, bytes_mb;
+    int with_fonts = 0, with_inline_js = 0;
+    for (const auto& site : sites) {
+      objects.push_back(static_cast<double>(site.plan.resources.size()));
+      html_kb.push_back(static_cast<double>(site.plan.html_size) / 1024.0);
+      hosts.push_back(static_cast<double>(site.origins.server_count()));
+      pushable.push_back(
+          static_cast<double>(web::pushable_urls(site).size()) /
+          static_cast<double>(site.plan.resources.size()));
+      double total = 0;
+      bool font = false;
+      for (const auto& r : site.plan.resources) {
+        total += static_cast<double>(r.size);
+        font |= r.type == http::ResourceType::kFont;
+      }
+      bytes_mb.push_back(total / 1024.0 / 1024.0);
+      if (font) ++with_fonts;
+      if (site.plan.inline_js_fraction > 0) ++with_inline_js;
+    }
+
+    std::printf("=== %s (%d sites) ===\n", profile.label.c_str(), count);
+    const auto row = [](const char* label, std::span<const double> xs) {
+      std::printf("  %-18s median %8.1f   p10 %8.1f   p90 %8.1f\n", label,
+                  stats::median(xs), stats::quantile(xs, 0.1),
+                  stats::quantile(xs, 0.9));
+    };
+    row("objects", objects);
+    row("html KB", html_kb);
+    row("servers", hosts);
+    row("page weight MB", bytes_mb);
+    row("pushable fraction", pushable);
+    stats::Cdf cdf(pushable);
+    std::printf("  sites with <20%% pushable: %.0f%% (paper: %s)\n",
+                100 * cdf.fraction_below(0.2), top ? "52%" : "24%");
+    std::printf("  sites with web fonts: %d, with inlined JS: %d\n\n",
+                with_fonts, with_inline_js);
+  }
+  return 0;
+}

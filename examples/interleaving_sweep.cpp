@@ -1,0 +1,78 @@
+// Offset-sensitivity ablation for interleaving push.
+//
+//   $ ./build/examples/interleaving_sweep
+//
+// The paper picks the switch offset per site ("after </head> and first
+// bytes of <body>", 4 KB for w1, 12 KB for w16). This example sweeps the
+// offset on a fixed page and shows the trade-off the scheduler makes:
+// switching too early starves the parser of body bytes; switching too late
+// degenerates into the default (push-after-parent) scheduler.
+#include <cstdio>
+
+#include "core/critical_css.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "stats/descriptive.h"
+#include "web/site.h"
+
+using namespace h2push;
+
+int main() {
+  web::PagePlan plan;
+  plan.name = "sweep";
+  plan.primary_host = "sweep.example";
+  plan.html_size = 120 * 1024;  // large HTML: the interesting regime
+  plan.host_ip[plan.primary_host] = "10.0.0.1";
+  web::ResourcePlan css;
+  css.path = "/style.css";
+  css.host = plan.primary_host;
+  css.type = http::ResourceType::kCss;
+  css.size = 40 * 1024;
+  css.placement = web::ResourcePlan::Placement::kHead;
+  plan.resources.push_back(css);
+  web::ResourcePlan font;
+  font.path = "/brand.woff2";
+  font.host = plan.primary_host;
+  font.type = http::ResourceType::kFont;
+  font.size = 30 * 1024;
+  font.placement = web::ResourcePlan::Placement::kFromCss;
+  font.css_parent = "/style.css";
+  font.font_family = "brand";
+  font.above_fold = true;
+  plan.resources.push_back(font);
+
+  const auto site = web::build_site(plan);
+  const auto head_end = core::head_end_offset(site);
+  core::RunConfig cfg;
+
+  const auto baseline =
+      core::collect(core::run_repeated(site, core::no_push(), cfg, 7));
+  std::printf("no push baseline: SI %.1f ms, PLT %.1f ms\n",
+              baseline.si_median(), baseline.plt_median());
+  std::printf("</head> ends at byte %zu\n\n", head_end);
+
+  std::printf("%-14s %14s %14s\n", "offset [B]", "SpeedIndex", "vs no push");
+  for (const std::size_t offset :
+       {std::size_t{512}, head_end / 2, head_end, head_end + 8192,
+        std::size_t{48 * 1024}, std::size_t{96 * 1024}}) {
+    core::Strategy s = core::push_list(
+        "ilv", {"https://sweep.example/style.css",
+                "https://sweep.example/brand.woff2"});
+    s.interleaving = true;
+    s.interleave_offset = offset;
+    const auto series = core::collect(core::run_repeated(site, s, cfg, 7));
+    std::printf("%-14zu %14.1f %+13.1f%%\n", offset, series.si_median(),
+                (series.si_median() - baseline.si_median()) /
+                    baseline.si_median() * 100.0);
+  }
+  std::printf(
+      "\nDefault-scheduler push (no interleaving) for comparison:\n");
+  core::Strategy plain = core::push_list(
+      "plain", {"https://sweep.example/style.css",
+                "https://sweep.example/brand.woff2"});
+  const auto series = core::collect(core::run_repeated(site, plain, cfg, 7));
+  std::printf("%-14s %14.1f %+13.1f%%\n", "after-parent", series.si_median(),
+              (series.si_median() - baseline.si_median()) /
+                  baseline.si_median() * 100.0);
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "adoption/adoption.h"
+
+#include <cmath>
+
+namespace h2push::adoption {
+
+std::vector<MonthlySample> simulate_adoption(const AdoptionModelConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  // Per-month adoption probabilities: interpolate the cumulative adoption
+  // fraction with a logistic ramp between the initial and final fractions,
+  // then draw each site's adoption month.
+  auto cumulative = [&](double initial, double final_frac, double t01) {
+    // Logistic in t: slow start, faster middle — matches the measured curve
+    // shape better than a straight line.
+    const double k = 4.0;
+    const double l = 1.0 / (1.0 + std::exp(-k * (t01 - 0.5)));
+    const double l0 = 1.0 / (1.0 + std::exp(k * 0.5));
+    const double l1 = 1.0 / (1.0 + std::exp(-k * 0.5));
+    const double ramp = (l - l0) / (l1 - l0);
+    return initial + (final_frac - initial) * ramp;
+  };
+
+  std::vector<MonthlySample> samples(static_cast<std::size_t>(cfg.months));
+  std::vector<std::size_t> h2_by_month(static_cast<std::size_t>(cfg.months), 0);
+  std::vector<std::size_t> push_by_month(static_cast<std::size_t>(cfg.months),
+                                         0);
+
+  for (std::size_t site = 0; site < cfg.population; ++site) {
+    double u_h2 = rng.next_double();
+    const double u_push = rng.next_double();
+    // Push requires H2, and in practice push adopters are early, technically
+    // invested H2 adopters: a site destined to enable push enables H2 at
+    // least as early as push (scale its H2 draw below its push draw).
+    const bool potential_pusher = u_push < cfg.push_final_fraction;
+    if (potential_pusher) u_h2 = std::min(u_h2, u_push);
+    bool h2 = false;
+    bool push = false;
+    for (int m = 0; m < cfg.months; ++m) {
+      const double t = static_cast<double>(m) /
+                       static_cast<double>(cfg.months - 1);
+      if (!h2 && u_h2 < cumulative(cfg.h2_initial_fraction,
+                                   cfg.h2_final_fraction, t)) {
+        h2 = true;
+      }
+      if (h2 && !push &&
+          u_push < cumulative(cfg.push_initial_fraction,
+                              cfg.push_final_fraction, t)) {
+        push = true;
+      }
+      if (h2) ++h2_by_month[static_cast<std::size_t>(m)];
+      if (push) ++push_by_month[static_cast<std::size_t>(m)];
+    }
+  }
+  for (int m = 0; m < cfg.months; ++m) {
+    samples[static_cast<std::size_t>(m)] = MonthlySample{
+        m, h2_by_month[static_cast<std::size_t>(m)],
+        push_by_month[static_cast<std::size_t>(m)]};
+  }
+  return samples;
+}
+
+}  // namespace h2push::adoption

@@ -1,0 +1,36 @@
+// Fig. 1: adoption of HTTP/2 and Server Push over one year of monthly
+// Alexa-1M scans (the paper's netray.io measurements). We model per-site
+// adoption with logistic growth calibrated to the published endpoints
+// (~120K -> ~240K H2 sites, ~400 -> ~800 push sites over 2017) and scan the
+// population the way the measurement platform does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace h2push::adoption {
+
+struct AdoptionModelConfig {
+  std::size_t population = 1'000'000;
+  // Calibrated to the paper's Fig. 1 (Alexa 1M over 2017).
+  double h2_initial_fraction = 0.12;
+  double h2_final_fraction = 0.24;
+  double push_initial_fraction = 0.0004;
+  double push_final_fraction = 0.0008;
+  int months = 12;
+  std::uint64_t seed = 2017;
+};
+
+struct MonthlySample {
+  int month = 0;           // 0 = January
+  std::size_t h2_sites = 0;
+  std::size_t push_sites = 0;
+};
+
+/// Simulate the year: every site draws adoption dates from the logistic
+/// model; a monthly scan counts the sites that have adopted by then.
+std::vector<MonthlySample> simulate_adoption(const AdoptionModelConfig& cfg);
+
+}  // namespace h2push::adoption

@@ -1,0 +1,87 @@
+// CSS object model (simplified).
+//
+// Parses real stylesheet text into rules with selectors and declarations.
+// The subset covers what the corpus generator emits and what the paper's
+// mechanisms need:
+//   - rule sets with compound selectors (tag, .class, #id) and descendant
+//     combinators,
+//   - @font-face blocks (font files are "hidden" resources discovered only
+//     after CSS parse — paper §4.3 s1),
+//   - url(...) references in declarations (background images),
+//   - font-family declarations linking elements to web fonts.
+// Selector matching against an element ancestor chain powers the critical
+// CSS extraction (the paper's penthouse step) in core/critical_css.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2push::browser {
+
+/// One compound selector part: "div.hero#main" → tag=div, classes={hero},
+/// id=main. Empty fields are wildcards.
+struct CompoundSelector {
+  std::string tag;
+  std::vector<std::string> classes;
+  std::string id;
+};
+
+/// A full selector: descendant chain of compounds, e.g. ".nav a".
+struct Selector {
+  std::vector<CompoundSelector> parts;  // outermost ancestor first
+  std::string text;                     // original serialization
+};
+
+struct Declaration {
+  std::string property;  // lowercase
+  std::string value;
+};
+
+struct CssRule {
+  std::vector<Selector> selectors;
+  std::vector<Declaration> declarations;
+  std::string text;  // original rule text (for critical-CSS reassembly)
+
+  /// font-family value if declared, else empty.
+  std::string font_family() const;
+  /// url(...) references in the declarations (background images).
+  std::vector<std::string> urls() const;
+};
+
+struct FontFace {
+  std::string family;
+  std::string url;
+  std::string text;  // original @font-face block
+};
+
+struct Stylesheet {
+  std::vector<CssRule> rules;
+  std::vector<FontFace> font_faces;
+
+  /// All url() references: background images + font files.
+  std::vector<std::string> resource_urls() const;
+  /// @font-face url for a family, if any.
+  std::optional<std::string> font_url(std::string_view family) const;
+};
+
+Stylesheet parse_css(std::string_view text);
+
+/// An element as seen during layout: tag + classes + id, with ancestors.
+struct ElementPath {
+  struct Entry {
+    std::string tag;
+    std::vector<std::string> classes;
+    std::string id;
+  };
+  std::vector<Entry> chain;  // outermost first, element itself last
+};
+
+/// CSS descendant matching of `sel` against the element path.
+bool matches(const Selector& sel, const ElementPath& path);
+
+/// Does any selector of the rule match?
+bool matches(const CssRule& rule, const ElementPath& path);
+
+}  // namespace h2push::browser

@@ -1,0 +1,38 @@
+#include "browser/metrics.h"
+
+namespace h2push::browser {
+
+void VisualProgress::record(sim::Time t, double painted_weight) {
+  if (!events_.empty() && events_.back().second >= painted_weight) {
+    return;  // progress is monotone; ignore non-increasing reports
+  }
+  events_.emplace_back(t, painted_weight);
+}
+
+void VisualProgress::finalize(double total_weight) {
+  finalized_ = true;
+  curve_.clear();
+  if (events_.empty() || total_weight <= 0) {
+    speed_index_ms_ = 0;
+    first_paint_ms_ = 0;
+    last_change_ms_ = 0;
+    return;
+  }
+  first_paint_ms_ = sim::to_ms(events_.front().first - t0_);
+  last_change_ms_ = sim::to_ms(events_.back().first - t0_);
+  // SpeedIndex = integral of (1 - completeness) dt from t0 to the last
+  // visual change.
+  double si = 0;
+  double completeness = 0;
+  sim::Time prev = t0_;
+  for (const auto& [t, weight] : events_) {
+    si += (1.0 - completeness) * sim::to_ms(t - prev);
+    completeness = weight / total_weight;
+    if (completeness > 1.0) completeness = 1.0;
+    curve_.emplace_back(sim::to_ms(t - t0_), completeness);
+    prev = t;
+  }
+  speed_index_ms_ = si;
+}
+
+}  // namespace h2push::browser

@@ -1,0 +1,49 @@
+// Page performance metrics (paper §2.2).
+//
+// PLT: time between connectEnd of the main connection (DNS+TCP+TLS done)
+// and the onload event — the paper's definition.
+// SpeedIndex: integral of (1 - visual completeness) over time, where visual
+// completeness is the painted fraction of above-the-fold content. The paper
+// computes it from video frames; we compute it from the renderer's paint
+// events, which is exact for the model.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace h2push::browser {
+
+class VisualProgress {
+ public:
+  /// t0: the time axis reference (main connection connectEnd).
+  void set_reference(sim::Time t0) noexcept { t0_ = t0; }
+  sim::Time reference() const noexcept { return t0_; }
+
+  /// Record cumulative painted above-the-fold weight at time t.
+  void record(sim::Time t, double painted_weight);
+
+  /// Total above-the-fold weight, known once the page finished loading.
+  void finalize(double total_weight);
+
+  bool finalized() const noexcept { return finalized_; }
+  double speed_index_ms() const noexcept { return speed_index_ms_; }
+  double first_paint_ms() const noexcept { return first_paint_ms_; }
+  double last_change_ms() const noexcept { return last_change_ms_; }
+
+  /// The raw completeness curve: (ms since reference, completeness 0..1).
+  const std::vector<std::pair<double, double>>& curve() const noexcept {
+    return curve_;
+  }
+
+ private:
+  sim::Time t0_ = 0;
+  std::vector<std::pair<sim::Time, double>> events_;  // (t, painted weight)
+  std::vector<std::pair<double, double>> curve_;
+  bool finalized_ = false;
+  double speed_index_ms_ = 0;
+  double first_paint_ms_ = 0;
+  double last_change_ms_ = 0;
+};
+
+}  // namespace h2push::browser

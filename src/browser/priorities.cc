@@ -1,0 +1,69 @@
+#include "browser/priorities.h"
+
+#include <algorithm>
+
+namespace h2push::browser {
+
+std::uint16_t weight_for(NetPriority p) noexcept {
+  switch (p) {
+    case NetPriority::kHighest: return 256;
+    case NetPriority::kHigh: return 220;
+    case NetPriority::kMedium: return 183;
+    case NetPriority::kLow: return 147;
+    case NetPriority::kLowest: return 110;
+  }
+  return 16;
+}
+
+NetPriority priority_for(http::ResourceType type, bool in_head,
+                         bool is_async) {
+  using http::ResourceType;
+  switch (type) {
+    case ResourceType::kHtml: return NetPriority::kHighest;
+    case ResourceType::kCss: return NetPriority::kHighest;
+    case ResourceType::kFont: return NetPriority::kHighest;
+    case ResourceType::kJs:
+      if (is_async) return NetPriority::kLow;
+      return in_head ? NetPriority::kHigh : NetPriority::kMedium;
+    case ResourceType::kXhr: return NetPriority::kMedium;
+    case ResourceType::kImage: return NetPriority::kLowest;
+    case ResourceType::kOther: return NetPriority::kLowest;
+  }
+  return NetPriority::kLowest;
+}
+
+h2::PrioritySpec ChromiumPrioritizer::plan(NetPriority cls) const {
+  h2::PrioritySpec spec;
+  spec.weight = weight_for(cls);
+  spec.exclusive = true;
+  spec.depends_on = 0;
+  // Most recently created stream with equal or higher class.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (static_cast<int>(it->cls) <= static_cast<int>(cls)) {
+      spec.depends_on = it->stream_id;
+      break;
+    }
+  }
+  return spec;
+}
+
+void ChromiumPrioritizer::commit(std::uint32_t stream_id, NetPriority cls) {
+  open_.push_back({stream_id, cls});
+}
+
+h2::PrioritySpec ChromiumPrioritizer::assign(std::uint32_t stream_id,
+                                             NetPriority cls) {
+  h2::PrioritySpec spec = plan(cls);
+  commit(stream_id, cls);
+  return spec;
+}
+
+void ChromiumPrioritizer::on_stream_closed(std::uint32_t stream_id) {
+  open_.erase(std::remove_if(open_.begin(), open_.end(),
+                             [stream_id](const Entry& e) {
+                               return e.stream_id == stream_id;
+                             }),
+              open_.end());
+}
+
+}  // namespace h2push::browser

@@ -1,0 +1,56 @@
+// Chromium-like request prioritization.
+//
+// Chromium (version 64, as driven in the paper) assigns each request a net
+// priority class and communicates it to H2 servers as a dependency *chain*:
+// every new stream is made exclusively dependent on the most recently
+// created stream of equal or higher class (falling back to the root). On a
+// strict dependency-tree server like h2o this yields the behaviour the
+// paper's Fig. 5 observes: a CSS requested while the HTML is in flight
+// becomes a child of the HTML stream and is served only after the full HTML
+// — the pathology interleaving push fixes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "h2/frame.h"
+#include "http/message.h"
+
+namespace h2push::browser {
+
+enum class NetPriority : std::uint8_t {
+  kHighest = 0,  // main frame HTML, render-blocking CSS, fonts
+  kHigh = 1,     // sync scripts seen before the first image
+  kMedium = 2,   // sync scripts in the body, XHR
+  kLow = 3,      // async/defer scripts
+  kLowest = 4,   // images, prefetch
+};
+
+/// Chromium's class → H2 weight mapping.
+std::uint16_t weight_for(NetPriority p) noexcept;
+
+/// Classify a subresource the way Chromium 64 does.
+NetPriority priority_for(http::ResourceType type, bool in_head, bool is_async);
+
+class ChromiumPrioritizer {
+ public:
+  /// PrioritySpec for the next stream of class `cls` (chain parent lookup).
+  h2::PrioritySpec plan(NetPriority cls) const;
+
+  /// Record a created stream in the chain.
+  void commit(std::uint32_t stream_id, NetPriority cls);
+
+  /// plan + commit in one step when the stream id is already known.
+  h2::PrioritySpec assign(std::uint32_t stream_id, NetPriority cls);
+
+  void on_stream_closed(std::uint32_t stream_id);
+
+ private:
+  struct Entry {
+    std::uint32_t stream_id;
+    NetPriority cls;
+  };
+  std::vector<Entry> open_;  // creation order
+};
+
+}  // namespace h2push::browser

@@ -1,0 +1,43 @@
+#include "core/dependency.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/rank.h"
+
+namespace h2push::core {
+
+PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
+                                   int runs) {
+  PushOrderResult result;
+  const std::string main_url = site.main_url.str();
+  const Strategy baseline = no_push();
+
+  std::map<std::string, std::uint32_t> ids;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::uint32_t>> observations;
+
+  for (int i = 0; i < runs; ++i) {
+    config.run_index = i;
+    const auto load = run_page_load(site, baseline, config);
+    std::vector<std::string> order;
+    std::vector<std::uint32_t> observation;
+    for (const auto& r : load.resources) {
+      if (r.url == main_url || !r.adopted) continue;
+      order.push_back(r.url);
+      auto [it, inserted] = ids.try_emplace(
+          r.url, static_cast<std::uint32_t>(names.size()));
+      if (inserted) names.push_back(r.url);
+      observation.push_back(it->second);
+    }
+    result.runs.push_back(std::move(order));
+    observations.push_back(std::move(observation));
+  }
+
+  const auto aggregated = stats::aggregate_order(observations);
+  result.order.reserve(aggregated.size());
+  for (const auto id : aggregated) result.order.push_back(names[id]);
+  return result;
+}
+
+}  // namespace h2push::core

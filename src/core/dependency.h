@@ -1,0 +1,29 @@
+// Computing the push order (paper §4.2).
+//
+// The paper accesses each website 31 times without push, traces the
+// requests and priorities the browser issues, builds a dependency tree and
+// derives a request order; because client-side processing makes the order
+// unstable across runs, a majority vote decides. We replay without push,
+// take each run's fetch-initiation order, and aggregate with the
+// majority-vote rank aggregation in stats/rank.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "web/site.h"
+
+namespace h2push::core {
+
+struct PushOrderResult {
+  /// Aggregated request order (subresources only, main document excluded).
+  std::vector<std::string> order;
+  /// Per-run orders (diagnostics / tests).
+  std::vector<std::vector<std::string>> runs;
+};
+
+PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
+                                   int runs = 31);
+
+}  // namespace h2push::core

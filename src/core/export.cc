@@ -1,0 +1,97 @@
+#include "core/export.h"
+
+#include <cstdio>
+
+namespace h2push::core {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const browser::PageLoadResult& result,
+                    const std::string& label) {
+  std::string out = "{";
+  char buf[256];
+  const auto field = [&](const char* name, double value, bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.3f%s", name, value,
+                  comma ? "," : "");
+    out += buf;
+  };
+  if (!label.empty()) out += "\"label\":\"" + json_escape(label) + "\",";
+  out += std::string("\"complete\":") + (result.complete ? "true" : "false") +
+         ",";
+  field("plt_ms", result.plt_ms);
+  field("speed_index_ms", result.speed_index_ms);
+  field("first_paint_ms", result.first_paint_ms);
+  field("last_visual_change_ms", result.last_visual_change_ms);
+  field("dom_content_loaded_ms", result.dom_content_loaded_ms);
+  field("bytes_pushed", static_cast<double>(result.bytes_pushed));
+  field("bytes_total", static_cast<double>(result.bytes_total));
+  field("num_requests", static_cast<double>(result.num_requests));
+  field("num_pushed", static_cast<double>(result.num_pushed));
+  field("pushes_cancelled", static_cast<double>(result.pushes_cancelled));
+
+  out += "\"resources\":[";
+  for (std::size_t i = 0; i < result.resources.size(); ++i) {
+    const auto& r = result.resources[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"url\":\"%s\",\"type\":\"%s\",\"initiated_ms\":%.3f,"
+                  "\"headers_ms\":%.3f,\"complete_ms\":%.3f,\"size\":%zu,"
+                  "\"pushed\":%s,\"adopted\":%s}",
+                  i == 0 ? "" : ",", json_escape(r.url).c_str(),
+                  std::string(http::to_string(r.type)).c_str(),
+                  r.t_initiated_ms, r.t_headers_ms, r.t_complete_ms, r.size,
+                  r.pushed ? "true" : "false",
+                  r.adopted ? "true" : "false");
+    out += buf;
+  }
+  out += "],\"vc_curve\":[";
+  for (std::size_t i = 0; i < result.vc_curve.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s[%.3f,%.4f]", i == 0 ? "" : ",",
+                  result.vc_curve[i].first, result.vc_curve[i].second);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_csv(const std::vector<browser::PageLoadResult>& runs,
+                   const std::string& label) {
+  std::string out =
+      "label,run,complete,plt_ms,speed_index_ms,first_paint_ms,"
+      "bytes_pushed,bytes_total,num_requests,num_pushed\n";
+  char buf[256];
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%zu,%d,%.3f,%.3f,%.3f,%llu,%llu,%zu,%zu\n",
+                  label.c_str(), i, r.complete ? 1 : 0, r.plt_ms,
+                  r.speed_index_ms, r.first_paint_ms,
+                  static_cast<unsigned long long>(r.bytes_pushed),
+                  static_cast<unsigned long long>(r.bytes_total),
+                  r.num_requests, r.num_pushed);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace h2push::core

@@ -1,0 +1,26 @@
+// Result export: JSON (HAR-flavoured) for page loads and CSV for metric
+// series — so the testbed's output can feed external analysis/plotting the
+// way the paper's published dataset does (netray.io / push.netray.io).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "browser/page_load.h"
+#include "core/testbed.h"
+
+namespace h2push::core {
+
+/// One page load as a JSON object: metrics, per-resource timings and the
+/// visual-completeness curve. Strings are escaped; output is deterministic.
+std::string to_json(const browser::PageLoadResult& result,
+                    const std::string& label = "");
+
+/// Repeated-run series as CSV: one row per run with plt/si/bytes columns.
+std::string to_csv(const std::vector<browser::PageLoadResult>& runs,
+                   const std::string& label = "");
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& text);
+
+}  // namespace h2push::core

@@ -1,0 +1,63 @@
+// Automatic push-strategy generation — the paper's §6 proposal.
+//
+// "Based on information about critical resources and rendering, several
+//  (interleaving) push strategies for different versions of a website and
+//  network settings could be analyzed in our testbed … it could be possible
+//  to learn website- and browser-specific push strategies."
+//
+// The learner enumerates a candidate family derived from the site's
+// structure (no push, hints, push-first-n in computed order, the critical
+// set with and without restructuring, interleaving at several offsets),
+// evaluates each candidate in the deterministic testbed, and returns the
+// best strategy under a configurable objective (SpeedIndex by default, with
+// a bytes-pushed tie-breaker — pushing less is preferable, §4.2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/optimize.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+
+namespace h2push::core {
+
+struct LearnerConfig {
+  int runs_per_candidate = 7;
+  int order_runs = 9;
+  /// Relative SI improvement a candidate must beat no-push by before extra
+  /// pushed bytes are considered worth anything.
+  double min_gain = 0.02;
+  /// Candidate interleave offsets, as multiples of the head-end offset.
+  std::vector<double> offset_factors{0.5, 1.0, 3.0};
+  /// push-first-n candidate sizes.
+  std::vector<std::size_t> amounts{1, 3, 5, 10};
+};
+
+struct CandidateResult {
+  std::string name;
+  double si_ms = 0;
+  double plt_ms = 0;
+  double pushed_kb = 0;
+  double si_vs_baseline = 0;  // relative, negative = better
+};
+
+struct LearnedStrategy {
+  Strategy strategy;
+  /// Which site variant the strategy must be served from (the optimized
+  /// restructuring, when chosen). Points into LearnerOutput::optimized.
+  bool use_optimized_site = false;
+  CandidateResult result;
+};
+
+struct LearnerOutput {
+  LearnedStrategy best;
+  OptimizedSite optimized;             // kept alive for the caller
+  std::vector<CandidateResult> all;    // full leaderboard, best first
+};
+
+/// Evaluate the candidate family on `site` and pick the best strategy.
+LearnerOutput learn_strategy(const web::Site& site, RunConfig config,
+                             const LearnerConfig& learner = {});
+
+}  // namespace h2push::core

@@ -1,0 +1,90 @@
+#include "core/strategy.h"
+
+#include "http/url.h"
+
+namespace h2push::core {
+
+std::vector<std::string> filter_pushable(
+    const web::Site& site, const std::vector<std::string>& order) {
+  std::vector<std::string> out;
+  for (const auto& url_str : order) {
+    auto url = http::parse_url(url_str);
+    if (!url) continue;
+    if (site.origins.is_authoritative(site.plan.primary_host, url->host)) {
+      out.push_back(url_str);
+    }
+  }
+  return out;
+}
+
+Strategy no_push() {
+  Strategy s;
+  s.name = "no-push";
+  s.client_push_enabled = false;
+  return s;
+}
+
+Strategy push_all(const web::Site& site,
+                  const std::vector<std::string>& order) {
+  Strategy s;
+  s.name = "push-all";
+  s.client_push_enabled = true;
+  s.push_urls = filter_pushable(site, order);
+  return s;
+}
+
+Strategy push_first_n(const web::Site& site,
+                      const std::vector<std::string>& order, std::size_t n) {
+  Strategy s = push_all(site, order);
+  s.name = "push-" + std::to_string(n);
+  if (s.push_urls.size() > n) s.push_urls.resize(n);
+  return s;
+}
+
+Strategy push_types(const web::Site& site,
+                    const std::vector<std::string>& order,
+                    const std::set<http::ResourceType>& types) {
+  Strategy s;
+  s.client_push_enabled = true;
+  s.name = "push-types";
+  for (const auto& url_str : filter_pushable(site, order)) {
+    auto url = http::parse_url(url_str);
+    if (!url) continue;
+    const auto* exchange = site.store->find(url->host, url->path);
+    if (exchange == nullptr) continue;
+    if (types.count(exchange->response.type) != 0) {
+      s.push_urls.push_back(url_str);
+    }
+  }
+  return s;
+}
+
+Strategy push_recorded(const web::Site& site) {
+  Strategy s;
+  s.name = "push-recorded";
+  s.client_push_enabled = true;
+  for (const auto& e : site.store->all()) {
+    if (e.recorded_pushed) s.push_urls.push_back(e.request.url.str());
+  }
+  s.push_urls = filter_pushable(site, s.push_urls);
+  return s;
+}
+
+Strategy hint_all(const web::Site& site,
+                  const std::vector<std::string>& order) {
+  Strategy s;
+  s.name = "hint-all";
+  s.client_push_enabled = true;  // hints don't require push, but allow it
+  s.hint_urls = filter_pushable(site, order);
+  return s;
+}
+
+Strategy push_list(std::string name, std::vector<std::string> urls) {
+  Strategy s;
+  s.name = std::move(name);
+  s.client_push_enabled = true;
+  s.push_urls = std::move(urls);
+  return s;
+}
+
+}  // namespace h2push::core

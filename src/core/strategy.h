@@ -1,0 +1,65 @@
+// Server Push strategies (paper §4–§5).
+//
+// A Strategy bundles everything one experimental arm needs: whether the
+// client enables push (SETTINGS_ENABLE_PUSH), the ordered list of URLs the
+// primary server pushes on the landing-page request, and the scheduler
+// configuration (default dependency tree vs. interleaving with a byte
+// offset and a critical set).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "web/site.h"
+
+namespace h2push::core {
+
+struct Strategy {
+  std::string name = "no-push";
+  /// false → the client signals SETTINGS_ENABLE_PUSH=0 (paper §2.1).
+  bool client_push_enabled = false;
+  /// Absolute URLs in push order (server drops non-authoritative entries).
+  std::vector<std::string> push_urls;
+  bool interleaving = false;
+  std::size_t interleave_offset = 4096;
+  /// First N push_urls drained during the interleaving pause.
+  std::size_t critical_count = static_cast<std::size_t>(-1);
+  /// Advertise these as link rel=preload response headers on the landing
+  /// page (server-aided hints, the Vroom/MetaPush baseline [20, 32]).
+  std::vector<std::string> hint_urls;
+};
+
+/// Hint (don't push) every resource in the given order — MetaPush/Vroom.
+Strategy hint_all(const web::Site& site,
+                  const std::vector<std::string>& order);
+
+/// Baseline: client disables push entirely.
+Strategy no_push();
+
+/// Push every pushable object in the given order (paper §4.2.1 "push all",
+/// the strategy [31] recommends).
+Strategy push_all(const web::Site& site, const std::vector<std::string>& order);
+
+/// Push only the first n objects of the order (paper Fig. 3b).
+Strategy push_first_n(const web::Site& site,
+                      const std::vector<std::string>& order, std::size_t n);
+
+/// Push only objects of the given types (paper §4.2.1 type strategies).
+Strategy push_types(const web::Site& site,
+                    const std::vector<std::string>& order,
+                    const std::set<http::ResourceType>& types);
+
+/// Push exactly what the recorded real-world deployment pushed (Fig. 2b).
+Strategy push_recorded(const web::Site& site);
+
+/// Fully custom list.
+Strategy push_list(std::string name, std::vector<std::string> urls);
+
+/// Filter `order` to URLs the primary server is authoritative for.
+std::vector<std::string> filter_pushable(
+    const web::Site& site, const std::vector<std::string>& order);
+
+}  // namespace h2push::core

@@ -1,0 +1,323 @@
+#include "core/testbed.h"
+
+#include <map>
+#include <memory>
+
+#include "server/h1_replay_server.h"
+#include "server/replay_server.h"
+#include "sim/tcp.h"
+#include "stats/descriptive.h"
+
+namespace h2push::core {
+namespace {
+
+using sim::TcpConnection;
+
+/// One client↔server TCP session: the browser-facing ClientTransport plus
+/// the server-side H2 endpoint it terminates at.
+class SimTransport final : public browser::ClientTransport {
+ public:
+  SimTransport(sim::Simulator& sim, sim::TcpConfig tcp_config,
+               sim::Route up, sim::Route down,
+               server::ReplayServer::Config server_config, util::Rng rng,
+               sim::Time connect_stagger)
+      : sim_(sim), server_(sim, server_config, rng),
+        connect_stagger_(connect_stagger) {
+    TcpConnection::Callbacks callbacks;
+    callbacks.on_connected = [this] {
+      connected_ = true;
+      if (on_connected_) on_connected_();
+    };
+    callbacks.on_accepted = [this] { pump_server(); };
+    callbacks.on_receive = [this](TcpConnection::Side side,
+                                  std::span<const std::uint8_t> bytes) {
+      if (side == TcpConnection::Side::kServer) {
+        server_.connection().receive(bytes);
+        pump_server();
+      } else if (receiver_) {
+        receiver_(bytes);
+      }
+    };
+    callbacks.on_writable = [this](TcpConnection::Side side) {
+      if (side == TcpConnection::Side::kServer) {
+        pump_server();
+      } else if (writable_cb_) {
+        writable_cb_();
+      }
+    };
+    tcp_ = std::make_unique<TcpConnection>(sim_, tcp_config, up, down,
+                                           std::move(callbacks));
+    server_.set_write_ready([this] { pump_server(); });
+  }
+
+  void connect(std::function<void()> on_connected) override {
+    on_connected_ = std::move(on_connected);
+    // DNS lookup + socket setup take a few milliseconds even against local
+    // resolvers; this also de-correlates the SYN burst a many-origin page
+    // would otherwise fire into the access link in a single instant.
+    if (connect_stagger_ > 0) {
+      sim_.schedule_in(connect_stagger_, [this] { tcp_->connect(); });
+    } else {
+      tcp_->connect();
+    }
+  }
+  void send(std::span<const std::uint8_t> bytes) override {
+    tcp_->send(TcpConnection::Side::kClient, bytes);
+  }
+  bool writable() const override {
+    return tcp_->writable(TcpConnection::Side::kClient);
+  }
+  std::size_t write_chunk() const override { return 2 * 1460; }
+  void set_receiver(
+      std::function<void(std::span<const std::uint8_t>)> receiver) override {
+    receiver_ = std::move(receiver);
+  }
+  void set_writable_callback(std::function<void()> cb) override {
+    writable_cb_ = std::move(cb);
+  }
+  sim::Time connect_end_time() const override {
+    return tcp_->connect_end_time();
+  }
+
+  server::ReplayServer& server() { return server_; }
+  const TcpConnection& tcp() const { return *tcp_; }
+
+ private:
+  void pump_server() {
+    auto& conn = server_.connection();
+    while (tcp_->writable(TcpConnection::Side::kServer) &&
+           conn.want_write()) {
+      auto bytes = conn.produce(write_chunk());
+      if (bytes.empty()) break;
+      tcp_->send(TcpConnection::Side::kServer, bytes);
+    }
+  }
+
+  sim::Simulator& sim_;
+  server::ReplayServer server_;
+  std::unique_ptr<TcpConnection> tcp_;
+  sim::Time connect_stagger_ = 0;
+  bool connected_ = false;
+  std::function<void()> on_connected_;
+  std::function<void(std::span<const std::uint8_t>)> receiver_;
+  std::function<void()> writable_cb_;
+};
+
+/// Same glue for the HTTP/1.1 baseline arm: the server side terminates in
+/// an H1ReplayServer instead of the H2 endpoint.
+class H1SimTransport final : public browser::ClientTransport {
+ public:
+  H1SimTransport(sim::Simulator& sim, sim::TcpConfig tcp_config,
+                 sim::Route up, sim::Route down,
+                 server::H1ReplayServer::Config server_config, util::Rng rng,
+                 sim::Time connect_stagger)
+      : sim_(sim), server_(sim, server_config, rng),
+        connect_stagger_(connect_stagger) {
+    TcpConnection::Callbacks callbacks;
+    callbacks.on_connected = [this] {
+      if (on_connected_) on_connected_();
+    };
+    callbacks.on_receive = [this](TcpConnection::Side side,
+                                  std::span<const std::uint8_t> bytes) {
+      if (side == TcpConnection::Side::kServer) {
+        server_.connection().receive(bytes);
+        pump_server();
+      } else if (receiver_) {
+        receiver_(bytes);
+      }
+    };
+    callbacks.on_writable = [this](TcpConnection::Side side) {
+      if (side == TcpConnection::Side::kServer) {
+        pump_server();
+      } else if (writable_cb_) {
+        writable_cb_();
+      }
+    };
+    tcp_ = std::make_unique<TcpConnection>(sim_, tcp_config, up, down,
+                                           std::move(callbacks));
+    server_.set_write_ready([this] { pump_server(); });
+  }
+
+  void connect(std::function<void()> on_connected) override {
+    on_connected_ = std::move(on_connected);
+    if (connect_stagger_ > 0) {
+      sim_.schedule_in(connect_stagger_, [this] { tcp_->connect(); });
+    } else {
+      tcp_->connect();
+    }
+  }
+  void send(std::span<const std::uint8_t> bytes) override {
+    tcp_->send(TcpConnection::Side::kClient, bytes);
+  }
+  bool writable() const override {
+    return tcp_->writable(TcpConnection::Side::kClient);
+  }
+  std::size_t write_chunk() const override { return 2 * 1460; }
+  void set_receiver(
+      std::function<void(std::span<const std::uint8_t>)> receiver) override {
+    receiver_ = std::move(receiver);
+  }
+  void set_writable_callback(std::function<void()> cb) override {
+    writable_cb_ = std::move(cb);
+  }
+  sim::Time connect_end_time() const override {
+    return tcp_->connect_end_time();
+  }
+
+ private:
+  void pump_server() {
+    auto& conn = server_.connection();
+    while (tcp_->writable(TcpConnection::Side::kServer) &&
+           conn.want_write()) {
+      auto bytes = conn.produce(write_chunk());
+      if (bytes.empty()) break;
+      tcp_->send(TcpConnection::Side::kServer, bytes);
+    }
+  }
+
+  sim::Simulator& sim_;
+  server::H1ReplayServer server_;
+  std::unique_ptr<TcpConnection> tcp_;
+  sim::Time connect_stagger_ = 0;
+  std::function<void()> on_connected_;
+  std::function<void(std::span<const std::uint8_t>)> receiver_;
+  std::function<void()> writable_cb_;
+};
+
+}  // namespace
+
+browser::PageLoadResult run_page_load(const web::Site& site,
+                                      const Strategy& strategy,
+                                      const RunConfig& config) {
+  sim::Simulator sim;
+  util::Rng master(config.seed ^ util::hash64(site.name) ^
+                   (0x9e3779b97f4a7c15ULL *
+                    static_cast<std::uint64_t>(config.run_index + 1)));
+
+  util::Rng net_rng = master.fork("net");
+  const sim::ConditionSample sample =
+      sim::sample_conditions(config.net, net_rng);
+
+  sim::LinkConfig down_cfg;
+  down_cfg.rate_bps = sample.down_bps;
+  down_cfg.prop_delay = sim::from_ms(2);
+  down_cfg.queue_capacity = config.net.queue_capacity;
+  down_cfg.queue_packets = 1000;  // tc pfifo default
+  down_cfg.random_loss = sample.loss;
+  sim::LinkConfig up_cfg = down_cfg;
+  up_cfg.rate_bps = sample.up_bps;
+  auto downlink =
+      std::make_unique<sim::Link>(sim, down_cfg, master.fork("loss-down"));
+  auto uplink =
+      std::make_unique<sim::Link>(sim, up_cfg, master.fork("loss-up"));
+
+  // The push policy is served by whichever server hosts the trigger (the
+  // primary origin). All servers share the store and origin map.
+  server::PushPolicy policy;
+  policy.trigger_host = site.main_url.host;
+  policy.trigger_path = site.main_url.path;
+  policy.push_urls = strategy.push_urls;
+  policy.interleaving = strategy.interleaving;
+  policy.interleave_offset = strategy.interleave_offset;
+  policy.critical_count = strategy.critical_count;
+  policy.hint_urls = strategy.hint_urls;
+
+  const std::string primary_ip = site.origins.ip_of(site.main_url.host);
+
+  util::Rng rtt_rng = master.fork("rtt");
+  util::Rng think_rng = master.fork("think");
+  std::vector<const SimTransport*> transports;
+
+  const bool use_http1 = config.browser.use_http1;
+  browser::TransportFactory factory =
+      [&sim, &site, &policy, &sample, &downlink, &uplink, primary_ip,
+       &rtt_rng, &think_rng, &transports, use_http1](const std::string& host)
+      -> std::unique_ptr<browser::ClientTransport> {
+    const std::string ip = site.origins.ip_of(host);
+    sim::Time rtt = sample.origin_rtt(rtt_rng);
+    if (const auto hit = site.plan.host_rtt_extra_ms.find(host);
+        hit != site.plan.host_rtt_extra_ms.end()) {
+      rtt += sim::from_ms(hit->second);
+    }
+    // Access-link propagation is 2 ms each way; the rest of the RTT is the
+    // path beyond the access link.
+    sim::Time extra = rtt / 2 - sim::from_ms(2);
+    if (extra < 0) extra = 0;
+    sim::Route up{uplink.get(), extra};
+    sim::Route down{downlink.get(), extra};
+
+    server::ReplayServer::Config sc;
+    sc.store = site.store.get();
+    sc.origins = &site.origins;
+    sc.think_time_mean = sample.server_think_mean;
+    if (ip == primary_ip && !policy.empty()) sc.policy = policy;
+
+    sim::TcpConfig tcp_config;  // defaults: IW10, MSS 1460, TLS 1.2
+    const auto stagger =
+        sim::from_ms(rtt_rng.uniform(0.5, 12.0));  // DNS + socket setup
+    if (use_http1) {
+      server::H1ReplayServer::Config h1c;
+      h1c.store = site.store.get();
+      h1c.think_time_mean = sample.server_think_mean;
+      return std::make_unique<H1SimTransport>(sim, tcp_config, up, down, h1c,
+                                              think_rng.fork(host), stagger);
+    }
+    auto transport = std::make_unique<SimTransport>(sim, tcp_config, up,
+                                                    down, sc,
+                                                    think_rng.fork(host),
+                                                    stagger);
+    transports.push_back(transport.get());
+    return transport;
+  };
+
+  browser::BrowserConfig bc = config.browser;
+  bc.enable_push = strategy.client_push_enabled;
+
+  browser::PageLoad load(sim, bc, site.origins, site.main_url,
+                         std::move(factory), master.fork("compute"));
+  load.start();
+  sim.run(bc.load_deadline);
+  auto result = load.result();
+  result.packets_dropped =
+      downlink->dropped_packets() + uplink->dropped_packets();
+  for (const auto* t : transports) {
+    result.retransmissions += t->tcp().retransmissions();
+  }
+  return result;
+}
+
+std::vector<browser::PageLoadResult> run_repeated(const web::Site& site,
+                                                  const Strategy& strategy,
+                                                  RunConfig config,
+                                                  int runs) {
+  std::vector<browser::PageLoadResult> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    config.run_index = i;
+    out.push_back(run_page_load(site, strategy, config));
+  }
+  return out;
+}
+
+MetricSeries collect(const std::vector<browser::PageLoadResult>& results) {
+  MetricSeries s;
+  for (const auto& r : results) {
+    s.plt_ms.push_back(r.plt_ms);
+    s.speed_index_ms.push_back(r.speed_index_ms);
+    s.bytes_pushed.push_back(static_cast<double>(r.bytes_pushed));
+  }
+  return s;
+}
+
+double MetricSeries::plt_median() const { return stats::median(plt_ms); }
+double MetricSeries::si_median() const {
+  return stats::median(speed_index_ms);
+}
+double MetricSeries::plt_std_error() const {
+  return stats::std_error(plt_ms);
+}
+double MetricSeries::si_std_error() const {
+  return stats::std_error(speed_index_ms);
+}
+
+}  // namespace h2push::core

@@ -1,0 +1,52 @@
+// Testbed orchestrator (paper §4.1).
+//
+// Recreates the Mahimahi deployment for one page load: a shared DSL access
+// link (16 Mbit/s down, 1 Mbit/s up, 50 ms RTT via tc in the paper), one
+// replay server per recorded IP, connection coalescing via generated SAN
+// certificates, and a browser instance. Every stochastic input (network
+// jitter in Internet mode, client compute jitter) derives from
+// (seed, site, run_index), so a run is exactly reproducible.
+#pragma once
+
+#include <vector>
+
+#include "browser/page_load.h"
+#include "core/strategy.h"
+#include "sim/conditions.h"
+#include "web/site.h"
+
+namespace h2push::core {
+
+struct RunConfig {
+  sim::NetworkConditions net = sim::NetworkConditions::testbed();
+  browser::BrowserConfig browser;
+  std::uint64_t seed = 1;
+  int run_index = 0;
+};
+
+/// Replay `site` once under `strategy`.
+browser::PageLoadResult run_page_load(const web::Site& site,
+                                      const Strategy& strategy,
+                                      const RunConfig& config);
+
+/// Replay `runs` times with varying run_index (the paper uses 31).
+std::vector<browser::PageLoadResult> run_repeated(const web::Site& site,
+                                                  const Strategy& strategy,
+                                                  RunConfig config,
+                                                  int runs = 31);
+
+/// Median / error helpers over repeated runs.
+struct MetricSeries {
+  std::vector<double> plt_ms;
+  std::vector<double> speed_index_ms;
+  std::vector<double> bytes_pushed;
+
+  double plt_median() const;
+  double si_median() const;
+  double plt_std_error() const;
+  double si_std_error() const;
+};
+
+MetricSeries collect(const std::vector<browser::PageLoadResult>& results);
+
+}  // namespace h2push::core

@@ -1,0 +1,71 @@
+#include "core/waterfall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace h2push::core {
+
+std::string render_waterfall(const browser::PageLoadResult& result,
+                             const WaterfallOptions& options) {
+  std::string out;
+  if (result.resources.empty()) return "  (no resources)\n";
+
+  double t_max = result.plt_ms;
+  for (const auto& r : result.resources) {
+    t_max = std::max(t_max, r.t_complete_ms);
+  }
+  if (t_max <= 0) t_max = 1;
+  const double scale = static_cast<double>(options.width) / t_max;
+  const auto col = [&](double t) {
+    return std::clamp(static_cast<int>(std::lround(t * scale)), 0,
+                      options.width);
+  };
+
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "  %-34s %9s %9s %8s  0%*sms %.0f\n", "resource", "start",
+                "done", "size", options.width - 8, "", t_max);
+  out += line;
+
+  std::size_t rows = 0;
+  for (const auto& r : result.resources) {
+    if (rows++ >= options.max_rows) {
+      out += "  ... (" +
+             std::to_string(result.resources.size() - options.max_rows) +
+             " more)\n";
+      break;
+    }
+    // Shorten the URL to its path (plus host for third parties).
+    std::string label = r.url;
+    const auto scheme = label.find("//");
+    if (scheme != std::string::npos) label = label.substr(scheme + 2);
+    if (label.size() > 34) label = "…" + label.substr(label.size() - 33);
+
+    std::string bar(static_cast<std::size_t>(options.width) + 1, ' ');
+    const int start = col(std::max(0.0, r.t_initiated_ms));
+    const int first = col(std::max(0.0, r.t_headers_ms));
+    const int done = col(std::max(0.0, r.t_complete_ms));
+    for (int i = start; i < first; ++i) bar[static_cast<std::size_t>(i)] = '-';
+    for (int i = first; i <= done; ++i)
+      bar[static_cast<std::size_t>(i)] = r.pushed ? '#' : '=';
+    if (done >= start) bar[static_cast<std::size_t>(done)] = '|';
+
+    std::snprintf(line, sizeof(line), "  %-34s %8.1f %9.1f %7zuB  %s%s\n",
+                  label.c_str(), r.t_initiated_ms, r.t_complete_ms, r.size,
+                  bar.c_str(),
+                  r.pushed ? (options.show_pushed ? "  [pushed]" : "") : "");
+    out += line;
+  }
+
+  std::snprintf(line, sizeof(line),
+                "  legend: '-' wait  '=' transfer  '#' pushed transfer\n"
+                "  first paint %.1f ms   SpeedIndex %.1f ms   PLT %.1f ms   "
+                "pushed %.1f KB\n",
+                result.first_paint_ms, result.speed_index_ms, result.plt_ms,
+                static_cast<double>(result.bytes_pushed) / 1024.0);
+  out += line;
+  return out;
+}
+
+}  // namespace h2push::core

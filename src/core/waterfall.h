@@ -1,0 +1,23 @@
+// ASCII waterfall rendering for page loads — the textual equivalent of the
+// DevTools network panel / WebPageTest waterfall the paper's authors used
+// to inspect render processes when tailoring strategies (§4.3, §5).
+#pragma once
+
+#include <string>
+
+#include "browser/page_load.h"
+
+namespace h2push::core {
+
+struct WaterfallOptions {
+  int width = 72;            ///< columns for the time axis
+  bool show_pushed = true;   ///< mark pushed resources
+  std::size_t max_rows = 60; ///< truncate very large pages
+};
+
+/// Render resource timing bars ('■' transfer span, '·' wait-from-init),
+/// one row per resource, plus PLT/SI markers.
+std::string render_waterfall(const browser::PageLoadResult& result,
+                             const WaterfallOptions& options = {});
+
+}  // namespace h2push::core

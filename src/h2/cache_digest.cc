@@ -1,0 +1,146 @@
+#include "h2/cache_digest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sha256.h"
+
+namespace h2push::h2 {
+namespace {
+
+/// Append `count` bits of `value` (MSB first) to the bit stream.
+struct BitWriter {
+  std::vector<std::uint8_t> bytes;
+  int bit_pos = 0;  // bits used in the last byte
+
+  void put_bit(bool bit) {
+    if (bit_pos == 0) bytes.push_back(0);
+    if (bit) bytes.back() |= static_cast<std::uint8_t>(1u << (7 - bit_pos));
+    bit_pos = (bit_pos + 1) % 8;
+  }
+  void put_bits(std::uint64_t value, unsigned count) {
+    for (int i = static_cast<int>(count) - 1; i >= 0; --i) {
+      put_bit((value >> i) & 1);
+    }
+  }
+};
+
+struct BitReader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t pos = 0;  // bit position
+
+  bool eof() const { return pos >= bytes.size() * 8; }
+  int get_bit() {
+    if (eof()) return -1;
+    const int bit = (bytes[pos / 8] >> (7 - pos % 8)) & 1;
+    ++pos;
+    return bit;
+  }
+  /// -1 on EOF.
+  std::int64_t get_bits(unsigned count) {
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < count; ++i) {
+      const int bit = get_bit();
+      if (bit < 0) return -1;
+      value = (value << 1) | static_cast<unsigned>(bit);
+    }
+    return static_cast<std::int64_t>(value);
+  }
+};
+
+}  // namespace
+
+std::uint64_t CacheDigest::key_for(std::string_view url) const {
+  // SHA-256(URL), truncated to log2(N * P) bits (the draft's key space).
+  const std::uint64_t h = util::sha256_prefix64(url);
+  const unsigned bits = n_bits_ + p_bits_;
+  if (bits >= 64) return h;
+  return h >> (64 - bits);
+}
+
+CacheDigest CacheDigest::build(const std::vector<std::string>& urls,
+                               unsigned p_bits) {
+  CacheDigest digest;
+  digest.p_bits_ = p_bits;
+  // N = count rounded up to the next power of two (min 1).
+  std::size_t n = 1;
+  unsigned n_bits = 0;
+  while (n < urls.size()) {
+    n <<= 1;
+    ++n_bits;
+  }
+  digest.n_bits_ = n_bits;
+  digest.hashes_.reserve(urls.size());
+  for (const auto& url : urls) digest.hashes_.push_back(digest.key_for(url));
+  std::sort(digest.hashes_.begin(), digest.hashes_.end());
+  digest.hashes_.erase(
+      std::unique(digest.hashes_.begin(), digest.hashes_.end()),
+      digest.hashes_.end());
+  return digest;
+}
+
+std::vector<std::uint8_t> CacheDigest::encode() const {
+  BitWriter writer;
+  writer.put_bits(n_bits_, 8);
+  writer.put_bits(p_bits_, 8);
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const std::uint64_t key : hashes_) {
+    const std::uint64_t delta = first ? key : key - previous - 1;
+    first = false;
+    previous = key;
+    // Golomb-Rice: quotient in unary, remainder in p_bits binary.
+    const std::uint64_t quotient = delta >> p_bits_;
+    for (std::uint64_t i = 0; i < quotient; ++i) writer.put_bit(true);
+    writer.put_bit(false);
+    writer.put_bits(delta & ((1ULL << p_bits_) - 1), p_bits_);
+  }
+  // Pad the final byte with 1-bits: a decoder reads them as an unterminated
+  // unary quotient and stops, so padding can never alias a delta-0 entry.
+  while (writer.bit_pos != 0) writer.put_bit(true);
+  return std::move(writer.bytes);
+}
+
+util::Expected<CacheDigest, std::string> CacheDigest::decode(
+    std::vector<std::uint8_t> bytes) {
+  if (bytes.size() < 2) {
+    return util::make_unexpected("cache-digest: truncated header");
+  }
+  BitReader reader{bytes};
+  CacheDigest digest;
+  digest.n_bits_ = static_cast<unsigned>(reader.get_bits(8));
+  digest.p_bits_ = static_cast<unsigned>(reader.get_bits(8));
+  if (digest.n_bits_ + digest.p_bits_ > 64 || digest.p_bits_ == 0 ||
+      digest.p_bits_ > 32) {
+    return util::make_unexpected("cache-digest: bad parameters");
+  }
+  std::uint64_t previous = 0;
+  bool first = true;
+  while (!reader.eof()) {
+    // Unary quotient. Trailing zero padding decodes as quotient 0 followed
+    // by an EOF remainder, which we detect and stop at.
+    std::uint64_t quotient = 0;
+    int bit;
+    while ((bit = reader.get_bit()) == 1) ++quotient;
+    if (bit < 0) break;  // padding
+    const std::int64_t remainder = reader.get_bits(digest.p_bits_);
+    if (remainder < 0) break;  // padding
+    const std::uint64_t delta =
+        (quotient << digest.p_bits_) | static_cast<std::uint64_t>(remainder);
+    const std::uint64_t key = first ? delta : previous + delta + 1;
+    if (!first && key <= previous) {
+      return util::make_unexpected("cache-digest: non-monotone keys");
+    }
+    digest.hashes_.push_back(key);
+    previous = key;
+    first = false;
+  }
+  return digest;
+}
+
+bool CacheDigest::probably_contains(std::string_view url) const {
+  if (hashes_.empty()) return false;
+  return std::binary_search(hashes_.begin(), hashes_.end(), key_for(url));
+}
+
+}  // namespace h2push::h2

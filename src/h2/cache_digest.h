@@ -1,0 +1,58 @@
+// Cache Digests for HTTP/2 (draft-ietf-httpbis-cache-digest-02, which the
+// paper cites in §2.1 as the missing cache-status signal for Server Push).
+//
+// The client summarizes its cache as a Golomb-coded set (GCS) of truncated
+// SHA-256 URL hashes and sends it at connection start in a CACHE_DIGEST
+// extension frame; the server then skips pushing resources the client
+// already holds — eliminating the "pushed bytes already in flight when the
+// client cancels" waste the paper measured (§2.1).
+//
+// Encoding per the draft: N = items rounded up to a power of two, P = the
+// false-positive parameter (2^-P FP rate); each URL hashes to
+// SHA-256(URL) mod (N*P); sorted deltas are Golomb-Rice coded with
+// parameter P.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace h2push::h2 {
+
+/// Extension frame type registered by the draft.
+constexpr std::uint8_t kCacheDigestFrameType = 0xd;
+
+class CacheDigest {
+ public:
+  CacheDigest() = default;
+
+  /// Build a digest over the given URLs with false-positive probability
+  /// 2^-p_bits (the draft default is P=2^5..2^7; we default to 1/128).
+  static CacheDigest build(const std::vector<std::string>& urls,
+                           unsigned p_bits = 7);
+
+  /// Wire form: [log2(N):1][log2(P):1][GCS bits...].
+  std::vector<std::uint8_t> encode() const;
+  static util::Expected<CacheDigest, std::string> decode(
+      std::vector<std::uint8_t> bytes);
+
+  /// Probabilistic membership: no false negatives, ~2^-p false positives.
+  bool probably_contains(std::string_view url) const;
+
+  std::size_t entry_count() const noexcept { return hashes_.size(); }
+  bool empty() const noexcept { return hashes_.empty(); }
+  unsigned n_bits() const noexcept { return n_bits_; }
+  unsigned p_bits() const noexcept { return p_bits_; }
+
+ private:
+  std::uint64_t key_for(std::string_view url) const;
+
+  unsigned n_bits_ = 0;  // log2(N)
+  unsigned p_bits_ = 7;  // log2(P)
+  std::vector<std::uint64_t> hashes_;  // sorted, deduplicated keys
+};
+
+}  // namespace h2push::h2

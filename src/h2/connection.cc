@@ -1,0 +1,471 @@
+#include "h2/connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace h2push::h2 {
+
+Connection::Connection(Config config, Callbacks callbacks)
+    : config_(config),
+      callbacks_(std::move(callbacks)),
+      parser_(config.max_frame_size),
+      encoder_(config.header_table_size),
+      decoder_(config.header_table_size),
+      scheduler_(std::make_unique<DefaultTreeScheduler>()),
+      next_stream_id_(config.role == Role::kClient ? 1 : 2),
+      preface_pending_(config.role == Role::kServer) {
+  // The decoder's size-update cap is whatever we announce in SETTINGS.
+  decoder_.set_max_table_size(config.header_table_size);
+}
+
+void Connection::set_scheduler(std::unique_ptr<StreamScheduler> scheduler) {
+  assert(streams_.empty() && "scheduler must be set before streams exist");
+  scheduler_ = std::move(scheduler);
+}
+
+void Connection::start() {
+  if (started_) return;
+  started_ = true;
+  if (config_.role == Role::kClient) {
+    auto preface = client_preface();
+    control_queue_.emplace_back(preface.begin(), preface.end());
+  }
+  SettingsFrame settings;
+  settings.settings.emplace_back(SettingsId::kHeaderTableSize,
+                                 static_cast<std::uint32_t>(
+                                     config_.header_table_size));
+  settings.settings.emplace_back(SettingsId::kInitialWindowSize,
+                                 config_.initial_window);
+  settings.settings.emplace_back(SettingsId::kMaxFrameSize,
+                                 config_.max_frame_size);
+  if (config_.role == Role::kClient) {
+    settings.settings.emplace_back(SettingsId::kEnablePush,
+                                   config_.enable_push ? 1u : 0u);
+  }
+  queue_control(Frame{settings});
+  if (config_.connection_window_bonus > 0) {
+    queue_control(Frame{WindowUpdateFrame{0, config_.connection_window_bonus}});
+    recv_window_ += config_.connection_window_bonus;
+  }
+  signal_write();
+}
+
+void Connection::queue_control(const Frame& frame) {
+  control_queue_.push_back(serialize(frame, peer_max_frame_size_));
+}
+
+void Connection::signal_write() {
+  if (callbacks_.on_write_ready) callbacks_.on_write_ready();
+}
+
+void Connection::connection_error(const std::string& message) {
+  if (errored_) return;
+  errored_ = true;
+  last_error_ = message;
+  queue_control(Frame{GoawayFrame{0, ErrorCode::kProtocolError, message}});
+  if (callbacks_.on_connection_error) callbacks_.on_connection_error(message);
+  signal_write();
+}
+
+Connection::Stream& Connection::ensure_stream(std::uint32_t id) {
+  auto [it, inserted] = streams_.try_emplace(id);
+  if (inserted) {
+    it->second.send_window = peer_initial_window_;
+    it->second.recv_window = config_.initial_window;
+  }
+  return it->second;
+}
+
+std::uint32_t Connection::submit_request(
+    const http::HeaderBlock& headers, std::optional<PrioritySpec> priority) {
+  assert(config_.role == Role::kClient);
+  start();
+  const std::uint32_t id = next_stream_id_;
+  next_stream_id_ += 2;
+  Stream& s = ensure_stream(id);
+  s.state = StreamState::kHalfClosedLocal;  // GET with END_STREAM
+  s.local_done = true;
+  HeadersFrame frame;
+  frame.stream_id = id;
+  frame.end_stream = true;
+  frame.priority = priority;
+  frame.header_block = encoder_.encode(headers);
+  queue_control(Frame{frame});
+  scheduler_->on_stream_added(id, priority.value_or(PrioritySpec{}));
+  signal_write();
+  return id;
+}
+
+void Connection::submit_priority(std::uint32_t stream,
+                                 const PrioritySpec& spec) {
+  queue_control(Frame{PriorityFrame{stream, spec}});
+  signal_write();
+}
+
+void Connection::submit_extension(const ExtensionFrame& frame) {
+  start();
+  queue_control(Frame{frame});
+  signal_write();
+}
+
+void Connection::submit_rst(std::uint32_t stream, ErrorCode error) {
+  Stream& s = ensure_stream(stream);
+  s.state = StreamState::kClosed;
+  s.body_pending = false;
+  queue_control(Frame{RstStreamFrame{stream, error}});
+  scheduler_->on_stream_removed(stream);
+  signal_write();
+}
+
+std::uint32_t Connection::submit_push_promise(
+    std::uint32_t parent, const http::HeaderBlock& request_headers) {
+  assert(config_.role == Role::kServer);
+  if (!peer_enable_push_) return 0;
+  auto pit = streams_.find(parent);
+  if (pit == streams_.end() || pit->second.state == StreamState::kClosed) {
+    return 0;
+  }
+  const std::uint32_t id = next_stream_id_;
+  next_stream_id_ += 2;
+  Stream& s = ensure_stream(id);
+  s.state = StreamState::kReservedLocal;
+  s.remote_done = true;  // the peer never sends on a pushed stream
+  PushPromiseFrame frame;
+  frame.stream_id = parent;
+  frame.promised_id = id;
+  frame.header_block = encoder_.encode(request_headers);
+  queue_control(Frame{frame});
+  // h2o: pushed streams depend on the associated (parent) stream.
+  scheduler_->on_stream_added(id, PrioritySpec{parent, 16, false});
+  signal_write();
+  return id;
+}
+
+void Connection::submit_response(std::uint32_t stream,
+                                 const http::HeaderBlock& headers,
+                                 Body body) {
+  assert(config_.role == Role::kServer);
+  Stream& s = ensure_stream(stream);
+  if (s.state == StreamState::kClosed) return;  // e.g. client RST the push
+  if (s.state == StreamState::kReservedLocal) {
+    s.state = StreamState::kHalfClosedRemote;
+  }
+  const bool empty_body = !body || body->empty();
+  HeadersFrame frame;
+  frame.stream_id = stream;
+  frame.end_stream = empty_body;
+  frame.header_block = encoder_.encode(headers);
+  queue_control(Frame{frame});
+  if (empty_body) {
+    s.local_done = true;
+    s.end_queued = true;
+    scheduler_->on_stream_finished(stream);
+    maybe_close(stream);
+  } else {
+    s.body = std::move(body);
+    s.body_offset = 0;
+    s.body_pending = true;
+  }
+  signal_write();
+}
+
+bool Connection::data_ready(std::uint32_t id) const {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return false;
+  const Stream& s = it->second;
+  return s.body_pending && s.send_window > 0 && send_window_ > 0;
+}
+
+bool Connection::want_write() const {
+  if (!control_queue_.empty()) return true;
+  if (send_window_ <= 0) return false;
+  for (const auto& [id, s] : streams_) {
+    if (s.body_pending && s.send_window > 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> Connection::produce(std::size_t max_bytes) {
+  std::vector<std::uint8_t> out;
+  // 1. Control frames (SETTINGS, HEADERS, PUSH_PROMISE, RST, WINDOW_UPDATE):
+  //    not flow controlled, sent ahead of DATA like real stacks do.
+  while (!control_queue_.empty() && out.size() < max_bytes) {
+    auto& chunk = control_queue_.front();
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    control_queue_.pop_front();
+  }
+  // 2. Scheduler-chosen DATA frames.
+  while (out.size() < max_bytes) {
+    const std::uint32_t id =
+        scheduler_->pick([this](std::uint32_t sid) { return data_ready(sid); });
+    if (id == 0) break;
+    Stream& s = streams_.at(id);
+    const std::size_t remaining = s.body->size() - s.body_offset;
+    std::size_t n = std::min<std::size_t>(remaining, peer_max_frame_size_);
+    n = std::min<std::size_t>(n, static_cast<std::size_t>(s.send_window));
+    n = std::min<std::size_t>(n, static_cast<std::size_t>(send_window_));
+    n = std::min<std::size_t>(n, scheduler_->max_bytes_for(id));
+    assert(n > 0);
+    DataFrame frame;
+    frame.stream_id = id;
+    frame.end_stream = (n == remaining);
+    const auto* base =
+        reinterpret_cast<const std::uint8_t*>(s.body->data()) + s.body_offset;
+    frame.data.assign(base, base + n);
+    const auto bytes = serialize(Frame{frame}, peer_max_frame_size_);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+    s.body_offset += n;
+    s.send_window -= static_cast<std::int64_t>(n);
+    send_window_ -= static_cast<std::int64_t>(n);
+    s.data_sent += n;
+    total_data_sent_ += n;
+    scheduler_->on_data_sent(id, n);
+    if (frame.end_stream) {
+      s.body_pending = false;
+      s.local_done = true;
+      s.end_queued = true;
+      s.body.reset();
+      scheduler_->on_stream_finished(id);
+      maybe_close(id);
+    }
+  }
+  return out;
+}
+
+void Connection::maybe_close(std::uint32_t id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  Stream& s = it->second;
+  if (s.local_done && s.remote_done && s.state != StreamState::kClosed) {
+    s.state = StreamState::kClosed;
+    scheduler_->on_stream_removed(id);
+    if (callbacks_.on_stream_closed) callbacks_.on_stream_closed(id);
+  }
+}
+
+void Connection::receive(std::span<const std::uint8_t> bytes) {
+  if (errored_) return;
+  // Receiving before start() (e.g. the peer's SETTINGS racing the transport
+  // handshake) must not let an ACK jump ahead of our preface/SETTINGS.
+  start();
+  // The server must strip the 24-byte client preface first.
+  if (preface_pending_) {
+    preface_buf_.insert(preface_buf_.end(), bytes.begin(), bytes.end());
+    if (preface_buf_.size() < 24) return;
+    const auto expected = client_preface();
+    if (!std::equal(expected.begin(), expected.end(), preface_buf_.begin())) {
+      preface_buf_.clear();
+      connection_error("bad client preface");
+      return;
+    }
+    preface_pending_ = false;
+    std::vector<std::uint8_t> rest(preface_buf_.begin() + 24,
+                                   preface_buf_.end());
+    preface_buf_.clear();
+    if (!rest.empty()) receive(rest);
+    return;
+  }
+  auto frames = parser_.feed(bytes);
+  if (!frames) {
+    connection_error(frames.error());
+    return;
+  }
+  for (auto& frame : *frames) {
+    handle_frame(std::move(frame));
+    if (errored_) return;
+  }
+}
+
+void Connection::apply_remote_settings(const SettingsFrame& frame) {
+  for (const auto& [id, value] : frame.settings) {
+    switch (id) {
+      case SettingsId::kHeaderTableSize:
+        encoder_.set_table_size(value);
+        break;
+      case SettingsId::kEnablePush:
+        peer_enable_push_ = value != 0;
+        break;
+      case SettingsId::kInitialWindowSize: {
+        // Adjust all open streams by the delta (RFC 7540 §6.9.2).
+        const std::int64_t delta =
+            static_cast<std::int64_t>(value) -
+            static_cast<std::int64_t>(peer_initial_window_);
+        peer_initial_window_ = value;
+        for (auto& [sid, s] : streams_) s.send_window += delta;
+        break;
+      }
+      case SettingsId::kMaxFrameSize:
+        peer_max_frame_size_ = value;
+        break;
+      case SettingsId::kMaxConcurrentStreams:
+      case SettingsId::kMaxHeaderListSize:
+        break;  // tracked but not enforced in simulation
+    }
+  }
+  queue_control(Frame{SettingsFrame{.ack = true, .settings = {}}});
+  if (callbacks_.on_remote_settings) callbacks_.on_remote_settings();
+  signal_write();
+}
+
+void Connection::handle_frame(Frame frame) {
+  std::visit(
+      [this](auto&& f) {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, SettingsFrame>) {
+          if (!f.ack) apply_remote_settings(f);
+        } else if constexpr (std::is_same_v<T, HeadersFrame>) {
+          auto block = decoder_.decode(f.header_block);
+          if (!block) {
+            connection_error("hpack: " + block.error());
+            return;
+          }
+          Stream& s = ensure_stream(f.stream_id);
+          if (s.state == StreamState::kClosed) {
+            return;  // late HEADERS after RST: drop, keep HPACK state
+          }
+          if (s.state == StreamState::kIdle) s.state = StreamState::kOpen;
+          if (s.state == StreamState::kReservedRemote) {
+            s.state = StreamState::kHalfClosedLocal;
+          }
+          if (f.priority) {
+            scheduler_->on_reprioritized(f.stream_id, *f.priority);
+          } else if (config_.role == Role::kServer) {
+            scheduler_->on_stream_added(f.stream_id, PrioritySpec{});
+          }
+          if (f.end_stream) {
+            s.remote_done = true;
+            if (s.state == StreamState::kOpen) {
+              s.state = StreamState::kHalfClosedRemote;
+            }
+          }
+          if (callbacks_.on_headers) {
+            callbacks_.on_headers(f.stream_id, std::move(*block),
+                                  f.end_stream);
+          }
+          maybe_close(f.stream_id);
+        } else if constexpr (std::is_same_v<T, DataFrame>) {
+          Stream& s = ensure_stream(f.stream_id);
+          // RFC 7540 §6.9: the whole frame payload, including padding,
+          // counts against flow control.
+          const auto n =
+              static_cast<std::int64_t>(f.data.size() + f.padding_bytes);
+          s.recv_window -= n;
+          recv_window_ -= n;
+          if (s.recv_window < 0 || recv_window_ < 0) {
+            connection_error("flow control violated by peer");
+            return;
+          }
+          // Application consumes immediately; replenish at half-window.
+          s.recv_unacked += f.data.size() + f.padding_bytes;
+          recv_unacked_ += f.data.size() + f.padding_bytes;
+          if (!f.end_stream &&
+              s.recv_unacked > config_.initial_window / 2) {
+            queue_control(Frame{WindowUpdateFrame{
+                f.stream_id, static_cast<std::uint32_t>(s.recv_unacked)}});
+            s.recv_window += static_cast<std::int64_t>(s.recv_unacked);
+            s.recv_unacked = 0;
+          }
+          const std::uint64_t conn_threshold =
+              (static_cast<std::uint64_t>(kDefaultInitialWindow) +
+               config_.connection_window_bonus) /
+              2;
+          if (recv_unacked_ > conn_threshold) {
+            queue_control(Frame{WindowUpdateFrame{
+                0, static_cast<std::uint32_t>(recv_unacked_)}});
+            recv_window_ += static_cast<std::int64_t>(recv_unacked_);
+            recv_unacked_ = 0;
+          }
+          if (f.end_stream) {
+            s.remote_done = true;
+            if (s.state == StreamState::kOpen) {
+              s.state = StreamState::kHalfClosedRemote;
+            }
+          }
+          if (callbacks_.on_data) {
+            callbacks_.on_data(f.stream_id, f.data, f.end_stream);
+          }
+          maybe_close(f.stream_id);
+          signal_write();
+        } else if constexpr (std::is_same_v<T, PushPromiseFrame>) {
+          if (config_.role != Role::kClient) {
+            connection_error("PUSH_PROMISE from client");
+            return;
+          }
+          if (!config_.enable_push) {
+            connection_error("push disabled but PUSH_PROMISE received");
+            return;
+          }
+          auto block = decoder_.decode(f.header_block);
+          if (!block) {
+            connection_error("hpack: " + block.error());
+            return;
+          }
+          Stream& s = ensure_stream(f.promised_id);
+          s.state = StreamState::kReservedRemote;
+          s.local_done = true;  // we never send on a pushed stream
+          if (callbacks_.on_push_promise) {
+            callbacks_.on_push_promise(f.stream_id, f.promised_id,
+                                       std::move(*block));
+          }
+        } else if constexpr (std::is_same_v<T, PriorityFrame>) {
+          scheduler_->on_reprioritized(f.stream_id, f.priority);
+        } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
+          Stream& s = ensure_stream(f.stream_id);
+          s.state = StreamState::kClosed;
+          s.body_pending = false;
+          s.body.reset();
+          scheduler_->on_stream_removed(f.stream_id);
+          if (callbacks_.on_rst) callbacks_.on_rst(f.stream_id, f.error);
+        } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
+          if (f.stream_id == 0) {
+            send_window_ += f.increment;
+            if (send_window_ > kMaxWindow) {
+              connection_error("connection window overflow");
+              return;
+            }
+          } else {
+            Stream& s = ensure_stream(f.stream_id);
+            s.send_window += f.increment;
+            if (s.send_window > kMaxWindow) {
+              submit_rst(f.stream_id, ErrorCode::kFlowControlError);
+              return;
+            }
+          }
+          signal_write();
+        } else if constexpr (std::is_same_v<T, PingFrame>) {
+          if (!f.ack) {
+            queue_control(Frame{PingFrame{true, f.opaque}});
+            signal_write();
+          }
+        } else if constexpr (std::is_same_v<T, ExtensionFrame>) {
+          if (callbacks_.on_extension_frame) callbacks_.on_extension_frame(f);
+        } else if constexpr (std::is_same_v<T, GoawayFrame>) {
+          // Remembered for diagnostics; page loads do not reuse dying
+          // connections in our experiments.
+          last_error_ = "GOAWAY: " + f.debug_data;
+        }
+      },
+      frame);
+}
+
+StreamState Connection::stream_state(std::uint32_t stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? StreamState::kIdle : it->second.state;
+}
+
+std::uint64_t Connection::data_bytes_sent(std::uint32_t stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? 0 : it->second.data_sent;
+}
+
+std::int64_t Connection::stream_send_window(std::uint32_t stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? 0 : it->second.send_window;
+}
+
+bool Connection::stream_send_finished(std::uint32_t stream) const {
+  auto it = streams_.find(stream);
+  return it != streams_.end() && it->second.end_queued;
+}
+
+}  // namespace h2push::h2

@@ -1,0 +1,188 @@
+// HTTP/2 connection endpoint.
+//
+// One Connection instance is either the client or the server end of an H2
+// session. It speaks real bytes: the write side serializes frames (control
+// frames first, then scheduler-chosen DATA), the read side runs the
+// incremental FrameParser and HPACK decoder. Both endpoints in a simulation
+// are instances of this class wired together through the TCP model, so the
+// full framing/HPACK path is exercised on every simulated page load.
+//
+// Flow control (RFC 7540 §5.2) is enforced on the send path against both
+// the per-stream and the connection window; the receive path auto-issues
+// WINDOW_UPDATEs assuming the application consumes data immediately (true
+// for both our browser and replay server).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "h2/frame.h"
+#include "h2/hpack.h"
+#include "h2/priority.h"
+#include "http/message.h"
+
+namespace h2push::h2 {
+
+enum class Role : std::uint8_t { kClient, kServer };
+
+enum class StreamState : std::uint8_t {
+  kIdle,
+  kReservedLocal,   // we sent PUSH_PROMISE
+  kReservedRemote,  // we received PUSH_PROMISE
+  kOpen,
+  kHalfClosedLocal,
+  kHalfClosedRemote,
+  kClosed,
+};
+
+/// Immutable response body shared across runs (bytes are real content: the
+/// browser parses HTML/CSS bodies it receives through the connection).
+using Body = std::shared_ptr<const std::string>;
+
+class Connection {
+ public:
+  struct Config {
+    Role role = Role::kClient;
+    std::uint32_t max_frame_size = kDefaultMaxFrameSize;
+    /// Our SETTINGS_INITIAL_WINDOW_SIZE (receive direction). Chromium-like
+    /// clients announce large windows so server push is not window-bound.
+    std::uint32_t initial_window = kDefaultInitialWindow;
+    /// Extra connection-level WINDOW_UPDATE announced at startup.
+    std::uint32_t connection_window_bonus = 0;
+    /// Client only: SETTINGS_ENABLE_PUSH (the paper's "no push" arm signals
+    /// 0 here, §2.1).
+    bool enable_push = true;
+    std::size_t header_table_size = 4096;
+  };
+
+  struct Callbacks {
+    /// Complete header block received: a request (server role) or response
+    /// (client role).
+    std::function<void(std::uint32_t stream, http::HeaderBlock,
+                       bool end_stream)>
+        on_headers;
+    std::function<void(std::uint32_t stream, std::span<const std::uint8_t>,
+                       bool end_stream)>
+        on_data;
+    /// Client role: PUSH_PROMISE received on `parent`.
+    std::function<void(std::uint32_t parent, std::uint32_t promised,
+                       http::HeaderBlock request_headers)>
+        on_push_promise;
+    std::function<void(std::uint32_t stream, ErrorCode)> on_rst;
+    std::function<void()> on_remote_settings;
+    std::function<void(const std::string&)> on_connection_error;
+    /// New bytes are available to write; the transport glue should pump.
+    std::function<void()> on_write_ready;
+    /// A stream fully closed (both directions done).
+    std::function<void(std::uint32_t stream)> on_stream_closed;
+    /// Extension (non-RFC-7540) frame received, e.g. CACHE_DIGEST.
+    std::function<void(const ExtensionFrame&)> on_extension_frame;
+  };
+
+  Connection(Config config, Callbacks callbacks);
+
+  /// Queue the connection preface (client) and initial SETTINGS.
+  void start();
+
+  // --- client API ---
+  /// Returns the new (odd) stream id.
+  std::uint32_t submit_request(const http::HeaderBlock& headers,
+                               std::optional<PrioritySpec> priority = {});
+  void submit_priority(std::uint32_t stream, const PrioritySpec& spec);
+  void submit_rst(std::uint32_t stream, ErrorCode error);
+  /// Queue an extension frame (e.g. a CACHE_DIGEST after SETTINGS).
+  void submit_extension(const ExtensionFrame& frame);
+
+  // --- server API ---
+  /// Reserve an (even) push stream on `parent`; queues PUSH_PROMISE.
+  /// Returns 0 if the peer disabled push or the parent is gone.
+  std::uint32_t submit_push_promise(std::uint32_t parent,
+                                    const http::HeaderBlock& request_headers);
+  /// Queue response HEADERS and hand the body to the scheduler-driven
+  /// write path. An empty body closes the stream with the headers.
+  void submit_response(std::uint32_t stream, const http::HeaderBlock& headers,
+                       Body body);
+
+  // --- transport glue ---
+  void receive(std::span<const std::uint8_t> bytes);
+  bool want_write() const;
+  /// Produce up to ~max_bytes of wire bytes (may overshoot by one frame so
+  /// frames are never split across scheduling decisions).
+  std::vector<std::uint8_t> produce(std::size_t max_bytes);
+
+  /// Replace the DATA scheduler (server side: interleaving experiments).
+  /// Must be called before any stream exists.
+  void set_scheduler(std::unique_ptr<StreamScheduler> scheduler);
+  StreamScheduler& scheduler() { return *scheduler_; }
+
+  // --- introspection ---
+  bool push_enabled_by_peer() const noexcept { return peer_enable_push_; }
+  StreamState stream_state(std::uint32_t stream) const;
+  std::uint64_t data_bytes_sent(std::uint32_t stream) const;
+  std::uint64_t total_data_sent() const noexcept { return total_data_sent_; }
+  std::int64_t connection_send_window() const noexcept {
+    return send_window_;
+  }
+  std::int64_t stream_send_window(std::uint32_t stream) const;
+  bool stream_send_finished(std::uint32_t stream) const;
+  const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  struct Stream {
+    StreamState state = StreamState::kIdle;
+    std::int64_t send_window = kDefaultInitialWindow;
+    std::int64_t recv_window = kDefaultInitialWindow;
+    std::uint64_t recv_unacked = 0;  // consumed but not yet window-updated
+    Body body;
+    std::size_t body_offset = 0;
+    bool body_pending = false;   // response submitted, data left to send
+    bool end_queued = false;     // END_STREAM emitted
+    std::uint64_t data_sent = 0;
+    bool local_done = false;   // we will send no more
+    bool remote_done = false;  // peer sent END_STREAM
+  };
+
+  void queue_control(const Frame& frame);
+  void connection_error(const std::string& message);
+  void handle_frame(Frame frame);
+  void apply_remote_settings(const SettingsFrame& frame);
+  Stream& ensure_stream(std::uint32_t id);
+  void maybe_close(std::uint32_t id);
+  bool data_ready(std::uint32_t id) const;
+  void signal_write();
+
+  Config config_;
+  Callbacks callbacks_;
+  FrameParser parser_;
+  HpackEncoder encoder_;
+  HpackDecoder decoder_;
+  std::unique_ptr<StreamScheduler> scheduler_;
+
+  std::map<std::uint32_t, Stream> streams_;
+  std::uint32_t next_stream_id_;  // odd (client) / even (server pushes)
+  bool preface_pending_ = false;  // server expects the client preface
+  std::vector<std::uint8_t> preface_buf_;
+  bool started_ = false;
+
+  // Peer-announced settings governing our send path.
+  std::uint32_t peer_max_frame_size_ = kDefaultMaxFrameSize;
+  std::uint32_t peer_initial_window_ = kDefaultInitialWindow;
+  bool peer_enable_push_ = true;
+
+  std::int64_t send_window_ = kDefaultInitialWindow;   // connection-level
+  std::int64_t recv_window_ = kDefaultInitialWindow;
+  std::uint64_t recv_unacked_ = 0;
+
+  std::deque<std::vector<std::uint8_t>> control_queue_;
+  std::uint64_t total_data_sent_ = 0;
+  std::string last_error_;
+  bool errored_ = false;
+};
+
+}  // namespace h2push::h2

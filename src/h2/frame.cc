@@ -1,0 +1,396 @@
+#include "h2/frame.h"
+
+#include <cstring>
+
+namespace h2push::h2 {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t pos) {
+  return (static_cast<std::uint32_t>(in[pos]) << 24) |
+         (static_cast<std::uint32_t>(in[pos + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[pos + 2]) << 8) |
+         static_cast<std::uint32_t>(in[pos + 3]);
+}
+
+void put_frame_header(std::vector<std::uint8_t>& out, std::size_t length,
+                      FrameType type, std::uint8_t flags,
+                      std::uint32_t stream_id) {
+  out.push_back(static_cast<std::uint8_t>(length >> 16));
+  out.push_back(static_cast<std::uint8_t>(length >> 8));
+  out.push_back(static_cast<std::uint8_t>(length));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(flags);
+  put_u32(out, stream_id & 0x7fffffff);
+}
+
+void put_priority(std::vector<std::uint8_t>& out, const PrioritySpec& p) {
+  put_u32(out, (p.exclusive ? 0x80000000u : 0u) | (p.depends_on & 0x7fffffff));
+  out.push_back(static_cast<std::uint8_t>((p.weight == 0 ? 16 : p.weight) - 1));
+}
+
+PrioritySpec get_priority(std::span<const std::uint8_t> in, std::size_t pos) {
+  PrioritySpec p;
+  const std::uint32_t dep = get_u32(in, pos);
+  p.exclusive = (dep & 0x80000000u) != 0;
+  p.depends_on = dep & 0x7fffffff;
+  p.weight = static_cast<std::uint16_t>(in[pos + 4] + 1);  // wire value + 1
+  return p;
+}
+
+}  // namespace
+
+std::string_view to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kHeaders: return "HEADERS";
+    case FrameType::kPriority: return "PRIORITY";
+    case FrameType::kRstStream: return "RST_STREAM";
+    case FrameType::kSettings: return "SETTINGS";
+    case FrameType::kPushPromise: return "PUSH_PROMISE";
+    case FrameType::kPing: return "PING";
+    case FrameType::kGoaway: return "GOAWAY";
+    case FrameType::kWindowUpdate: return "WINDOW_UPDATE";
+    case FrameType::kContinuation: return "CONTINUATION";
+  }
+  return "UNKNOWN";
+}
+
+std::span<const std::uint8_t> client_preface() {
+  static const std::uint8_t kPreface[] =
+      "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n";
+  return {kPreface, 24};
+}
+
+std::vector<std::uint8_t> serialize(const Frame& frame,
+                                    std::uint32_t max_frame_size) {
+  std::vector<std::uint8_t> out;
+  std::visit(
+      [&](const auto& f) {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, DataFrame>) {
+          put_frame_header(out, f.data.size(), FrameType::kData,
+                           f.end_stream ? kFlagEndStream : 0, f.stream_id);
+          out.insert(out.end(), f.data.begin(), f.data.end());
+        } else if constexpr (std::is_same_v<T, HeadersFrame>) {
+          const std::size_t prio_len = f.priority ? 5 : 0;
+          const std::size_t first_cap = max_frame_size - prio_len;
+          const bool fits = f.header_block.size() <= first_cap;
+          const std::size_t first_len =
+              fits ? f.header_block.size() : first_cap;
+          std::uint8_t flags = 0;
+          if (f.end_stream) flags |= kFlagEndStream;
+          if (f.priority) flags |= kFlagPriority;
+          if (fits) flags |= kFlagEndHeaders;
+          put_frame_header(out, first_len + prio_len, FrameType::kHeaders,
+                           flags, f.stream_id);
+          if (f.priority) put_priority(out, *f.priority);
+          out.insert(out.end(), f.header_block.begin(),
+                     f.header_block.begin() +
+                         static_cast<std::ptrdiff_t>(first_len));
+          // CONTINUATION frames for the remainder.
+          std::size_t pos = first_len;
+          while (pos < f.header_block.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(max_frame_size,
+                                      f.header_block.size() - pos);
+            const bool last = pos + n == f.header_block.size();
+            put_frame_header(out, n, FrameType::kContinuation,
+                             last ? kFlagEndHeaders : 0, f.stream_id);
+            out.insert(out.end(), f.header_block.begin() +
+                                      static_cast<std::ptrdiff_t>(pos),
+                       f.header_block.begin() +
+                           static_cast<std::ptrdiff_t>(pos + n));
+            pos += n;
+          }
+        } else if constexpr (std::is_same_v<T, PriorityFrame>) {
+          put_frame_header(out, 5, FrameType::kPriority, 0, f.stream_id);
+          put_priority(out, f.priority);
+        } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
+          put_frame_header(out, 4, FrameType::kRstStream, 0, f.stream_id);
+          put_u32(out, static_cast<std::uint32_t>(f.error));
+        } else if constexpr (std::is_same_v<T, SettingsFrame>) {
+          put_frame_header(out, f.ack ? 0 : f.settings.size() * 6,
+                           FrameType::kSettings, f.ack ? kFlagAck : 0, 0);
+          if (!f.ack) {
+            for (const auto& [id, value] : f.settings) {
+              put_u16(out, static_cast<std::uint16_t>(id));
+              put_u32(out, value);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, PushPromiseFrame>) {
+          const std::size_t first_cap = max_frame_size - 4;
+          const bool fits = f.header_block.size() <= first_cap;
+          const std::size_t first_len =
+              fits ? f.header_block.size() : first_cap;
+          put_frame_header(out, first_len + 4, FrameType::kPushPromise,
+                           fits ? kFlagEndHeaders : 0, f.stream_id);
+          put_u32(out, f.promised_id & 0x7fffffff);
+          out.insert(out.end(), f.header_block.begin(),
+                     f.header_block.begin() +
+                         static_cast<std::ptrdiff_t>(first_len));
+          std::size_t pos = first_len;
+          while (pos < f.header_block.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(max_frame_size,
+                                      f.header_block.size() - pos);
+            const bool last = pos + n == f.header_block.size();
+            put_frame_header(out, n, FrameType::kContinuation,
+                             last ? kFlagEndHeaders : 0, f.stream_id);
+            out.insert(out.end(), f.header_block.begin() +
+                                      static_cast<std::ptrdiff_t>(pos),
+                       f.header_block.begin() +
+                           static_cast<std::ptrdiff_t>(pos + n));
+            pos += n;
+          }
+        } else if constexpr (std::is_same_v<T, PingFrame>) {
+          put_frame_header(out, 8, FrameType::kPing, f.ack ? kFlagAck : 0, 0);
+          for (int i = 7; i >= 0; --i) {
+            out.push_back(static_cast<std::uint8_t>(f.opaque >> (8 * i)));
+          }
+        } else if constexpr (std::is_same_v<T, GoawayFrame>) {
+          put_frame_header(out, 8 + f.debug_data.size(), FrameType::kGoaway,
+                           0, 0);
+          put_u32(out, f.last_stream_id & 0x7fffffff);
+          put_u32(out, static_cast<std::uint32_t>(f.error));
+          out.insert(out.end(), f.debug_data.begin(), f.debug_data.end());
+        } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
+          put_frame_header(out, 4, FrameType::kWindowUpdate, 0, f.stream_id);
+          put_u32(out, f.increment & 0x7fffffff);
+        } else if constexpr (std::is_same_v<T, ExtensionFrame>) {
+          put_frame_header(out, f.payload.size(),
+                           static_cast<FrameType>(f.type), f.flags,
+                           f.stream_id);
+          out.insert(out.end(), f.payload.begin(), f.payload.end());
+        }
+      },
+      frame);
+  return out;
+}
+
+util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
+    std::span<const std::uint8_t> payload, std::uint8_t type,
+    std::uint8_t flags, std::uint32_t stream_id) {
+  const auto ft = static_cast<FrameType>(type);
+
+  if (expecting_continuation_ && ft != FrameType::kContinuation) {
+    return util::make_unexpected("expected CONTINUATION");
+  }
+
+  switch (ft) {
+    case FrameType::kData: {
+      if (stream_id == 0) return util::make_unexpected("DATA on stream 0");
+      DataFrame f;
+      f.stream_id = stream_id;
+      f.end_stream = flags & kFlagEndStream;
+      std::size_t pos = 0;
+      std::size_t pad = 0;
+      if (flags & kFlagPadded) {
+        if (payload.empty()) return util::make_unexpected("DATA: bad pad");
+        pad = payload[0];
+        pos = 1;
+        if (pad + pos > payload.size()) {
+          return util::make_unexpected("DATA: pad beyond frame");
+        }
+      }
+      f.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                    payload.end() - static_cast<std::ptrdiff_t>(pad));
+      f.padding_bytes = pos + pad;  // Pad-Length octet + padding
+      return std::optional<Frame>(std::move(f));
+    }
+    case FrameType::kHeaders: {
+      if (stream_id == 0) return util::make_unexpected("HEADERS on stream 0");
+      HeadersFrame f;
+      f.stream_id = stream_id;
+      f.end_stream = flags & kFlagEndStream;
+      std::size_t pos = 0;
+      std::size_t pad = 0;
+      if (flags & kFlagPadded) {
+        if (payload.empty()) return util::make_unexpected("HEADERS: bad pad");
+        pad = payload[0];
+        pos = 1;
+      }
+      if (flags & kFlagPriority) {
+        if (pos + 5 > payload.size()) {
+          return util::make_unexpected("HEADERS: truncated priority");
+        }
+        f.priority = get_priority(payload, pos);
+        pos += 5;
+      }
+      if (pad + pos > payload.size()) {
+        return util::make_unexpected("HEADERS: pad beyond frame");
+      }
+      f.header_block.assign(
+          payload.begin() + static_cast<std::ptrdiff_t>(pos),
+          payload.end() - static_cast<std::ptrdiff_t>(pad));
+      if (flags & kFlagEndHeaders) return std::optional<Frame>(std::move(f));
+      pending_headers_ = std::move(f);
+      pending_is_push_promise_ = false;
+      expecting_continuation_ = true;
+      return std::optional<Frame>(std::nullopt);
+    }
+    case FrameType::kPriority: {
+      if (payload.size() != 5) {
+        return util::make_unexpected("PRIORITY: bad length");
+      }
+      PriorityFrame f;
+      f.stream_id = stream_id;
+      f.priority = get_priority(payload, 0);
+      return std::optional<Frame>(std::move(f));
+    }
+    case FrameType::kRstStream: {
+      if (payload.size() != 4) {
+        return util::make_unexpected("RST_STREAM: bad length");
+      }
+      RstStreamFrame f;
+      f.stream_id = stream_id;
+      f.error = static_cast<ErrorCode>(get_u32(payload, 0));
+      return std::optional<Frame>(std::move(f));
+    }
+    case FrameType::kSettings: {
+      if (stream_id != 0) {
+        return util::make_unexpected("SETTINGS on a stream");
+      }
+      SettingsFrame f;
+      f.ack = flags & kFlagAck;
+      if (f.ack && !payload.empty()) {
+        return util::make_unexpected("SETTINGS ack with payload");
+      }
+      if (payload.size() % 6 != 0) {
+        return util::make_unexpected("SETTINGS: bad length");
+      }
+      for (std::size_t i = 0; i + 6 <= payload.size(); i += 6) {
+        const auto id = static_cast<SettingsId>(
+            (static_cast<std::uint16_t>(payload[i]) << 8) | payload[i + 1]);
+        f.settings.emplace_back(id, get_u32(payload, i + 2));
+      }
+      return std::optional<Frame>(std::move(f));
+    }
+    case FrameType::kPushPromise: {
+      if (stream_id == 0) {
+        return util::make_unexpected("PUSH_PROMISE on stream 0");
+      }
+      PushPromiseFrame f;
+      f.stream_id = stream_id;
+      std::size_t pos = 0;
+      std::size_t pad = 0;
+      if (flags & kFlagPadded) {
+        if (payload.empty()) {
+          return util::make_unexpected("PUSH_PROMISE: bad pad");
+        }
+        pad = payload[0];
+        pos = 1;
+      }
+      if (pos + 4 + pad > payload.size()) {
+        return util::make_unexpected("PUSH_PROMISE: truncated");
+      }
+      f.promised_id = get_u32(payload, pos) & 0x7fffffff;
+      f.header_block.assign(
+          payload.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+          payload.end() - static_cast<std::ptrdiff_t>(pad));
+      if (flags & kFlagEndHeaders) return std::optional<Frame>(std::move(f));
+      pending_push_ = std::move(f);
+      pending_is_push_promise_ = true;
+      expecting_continuation_ = true;
+      return std::optional<Frame>(std::nullopt);
+    }
+    case FrameType::kPing: {
+      if (payload.size() != 8) return util::make_unexpected("PING: length");
+      PingFrame f;
+      f.ack = flags & kFlagAck;
+      f.opaque = 0;
+      for (int i = 0; i < 8; ++i) f.opaque = (f.opaque << 8) | payload[i];
+      return std::optional<Frame>(std::move(f));
+    }
+    case FrameType::kGoaway: {
+      if (payload.size() < 8) return util::make_unexpected("GOAWAY: length");
+      GoawayFrame f;
+      f.last_stream_id = get_u32(payload, 0) & 0x7fffffff;
+      f.error = static_cast<ErrorCode>(get_u32(payload, 4));
+      f.debug_data.assign(payload.begin() + 8, payload.end());
+      return std::optional<Frame>(std::move(f));
+    }
+    case FrameType::kWindowUpdate: {
+      if (payload.size() != 4) {
+        return util::make_unexpected("WINDOW_UPDATE: length");
+      }
+      WindowUpdateFrame f;
+      f.stream_id = stream_id;
+      f.increment = get_u32(payload, 0) & 0x7fffffff;
+      if (f.increment == 0) {
+        return util::make_unexpected("WINDOW_UPDATE: zero increment");
+      }
+      return std::optional<Frame>(std::move(f));
+    }
+    case FrameType::kContinuation: {
+      if (!expecting_continuation_) {
+        return util::make_unexpected("unexpected CONTINUATION");
+      }
+      auto& block = pending_is_push_promise_ ? pending_push_.header_block
+                                             : pending_headers_.header_block;
+      const std::uint32_t expected_stream = pending_is_push_promise_
+                                                ? pending_push_.stream_id
+                                                : pending_headers_.stream_id;
+      if (stream_id != expected_stream) {
+        return util::make_unexpected("CONTINUATION: wrong stream");
+      }
+      block.insert(block.end(), payload.begin(), payload.end());
+      if (flags & kFlagEndHeaders) {
+        expecting_continuation_ = false;
+        if (pending_is_push_promise_) {
+          return std::optional<Frame>(std::move(pending_push_));
+        }
+        return std::optional<Frame>(std::move(pending_headers_));
+      }
+      return std::optional<Frame>(std::nullopt);
+    }
+  }
+  // Unknown frame types are surfaced as extension frames; a connection
+  // without a handler ignores them (RFC 7540 §4.1).
+  ExtensionFrame f;
+  f.type = type;
+  f.flags = flags;
+  f.stream_id = stream_id;
+  f.payload.assign(payload.begin(), payload.end());
+  return std::optional<Frame>(std::move(f));
+}
+
+util::Expected<std::vector<Frame>, std::string> FrameParser::feed(
+    std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  std::vector<Frame> frames;
+  std::size_t consumed = 0;
+  while (buffer_.size() - consumed >= 9) {
+    const std::uint8_t* p = buffer_.data() + consumed;
+    const std::size_t length = (static_cast<std::size_t>(p[0]) << 16) |
+                               (static_cast<std::size_t>(p[1]) << 8) | p[2];
+    if (length > max_frame_size_) {
+      return util::make_unexpected("frame exceeds max frame size");
+    }
+    if (buffer_.size() - consumed < 9 + length) break;
+    const std::uint8_t type = p[3];
+    const std::uint8_t flags = p[4];
+    const std::uint32_t stream_id =
+        get_u32({p + 5, 4}, 0) & 0x7fffffff;
+    auto result = parse_one({p + 9, length}, type, flags, stream_id);
+    if (!result) return util::make_unexpected(result.error());
+    if (result->has_value()) frames.push_back(std::move(**result));
+    consumed += 9 + length;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  return frames;
+}
+
+}  // namespace h2push::h2

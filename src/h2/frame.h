@@ -1,0 +1,192 @@
+// HTTP/2 framing layer (RFC 7540 §4, §6).
+//
+// Typed frame structs, a serializer, and an incremental FrameParser that
+// consumes a TCP byte stream and yields frames as they complete. All ten
+// frame types are implemented; HEADERS/PUSH_PROMISE carry opaque HPACK
+// blocks (CONTINUATION reassembly is handled by the parser so consumers
+// always see complete header blocks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace h2push::h2 {
+
+enum class FrameType : std::uint8_t {
+  kData = 0x0,
+  kHeaders = 0x1,
+  kPriority = 0x2,
+  kRstStream = 0x3,
+  kSettings = 0x4,
+  kPushPromise = 0x5,
+  kPing = 0x6,
+  kGoaway = 0x7,
+  kWindowUpdate = 0x8,
+  kContinuation = 0x9,
+};
+
+std::string_view to_string(FrameType t);
+
+// Flag bits (per-type meaning, RFC 7540 §6).
+constexpr std::uint8_t kFlagEndStream = 0x1;   // DATA, HEADERS
+constexpr std::uint8_t kFlagAck = 0x1;         // SETTINGS, PING
+constexpr std::uint8_t kFlagEndHeaders = 0x4;  // HEADERS, PUSH_PROMISE, CONT
+constexpr std::uint8_t kFlagPadded = 0x8;
+constexpr std::uint8_t kFlagPriority = 0x20;   // HEADERS
+
+// Error codes (RFC 7540 §7).
+enum class ErrorCode : std::uint32_t {
+  kNoError = 0x0,
+  kProtocolError = 0x1,
+  kInternalError = 0x2,
+  kFlowControlError = 0x3,
+  kSettingsTimeout = 0x4,
+  kStreamClosed = 0x5,
+  kFrameSizeError = 0x6,
+  kRefusedStream = 0x7,
+  kCancel = 0x8,
+  kCompressionError = 0x9,
+  kConnectError = 0xa,
+  kEnhanceYourCalm = 0xb,
+  kInadequateSecurity = 0xc,
+  kHttp11Required = 0xd,
+};
+
+// Settings identifiers (RFC 7540 §6.5.2).
+enum class SettingsId : std::uint16_t {
+  kHeaderTableSize = 0x1,
+  kEnablePush = 0x2,
+  kMaxConcurrentStreams = 0x3,
+  kInitialWindowSize = 0x4,
+  kMaxFrameSize = 0x5,
+  kMaxHeaderListSize = 0x6,
+};
+
+constexpr std::uint32_t kDefaultInitialWindow = 65535;
+constexpr std::uint32_t kDefaultMaxFrameSize = 16384;
+constexpr std::uint32_t kMaxWindow = 0x7fffffff;
+
+/// Stream dependency info carried in HEADERS / PRIORITY frames.
+struct PrioritySpec {
+  std::uint32_t depends_on = 0;
+  std::uint16_t weight = 16;  // effective weight 1..256 (wire value + 1)
+  bool exclusive = false;
+  bool operator==(const PrioritySpec&) const = default;
+};
+
+struct DataFrame {
+  std::uint32_t stream_id = 0;
+  bool end_stream = false;
+  std::vector<std::uint8_t> data;
+  /// Pad-Length octet + padding stripped by the parser (flow-control
+  /// accounting needs the full payload size, RFC 7540 §6.9).
+  std::size_t padding_bytes = 0;
+};
+
+struct HeadersFrame {
+  std::uint32_t stream_id = 0;
+  bool end_stream = false;
+  std::optional<PrioritySpec> priority;
+  std::vector<std::uint8_t> header_block;  // complete (post-CONTINUATION)
+};
+
+struct PriorityFrame {
+  std::uint32_t stream_id = 0;
+  PrioritySpec priority;
+};
+
+struct RstStreamFrame {
+  std::uint32_t stream_id = 0;
+  ErrorCode error = ErrorCode::kNoError;
+};
+
+struct SettingsFrame {
+  bool ack = false;
+  std::vector<std::pair<SettingsId, std::uint32_t>> settings;
+};
+
+struct PushPromiseFrame {
+  std::uint32_t stream_id = 0;    // the stream the promise rides on
+  std::uint32_t promised_id = 0;  // even, server-initiated
+  std::vector<std::uint8_t> header_block;
+};
+
+struct PingFrame {
+  bool ack = false;
+  std::uint64_t opaque = 0;
+};
+
+struct GoawayFrame {
+  std::uint32_t last_stream_id = 0;
+  ErrorCode error = ErrorCode::kNoError;
+  std::string debug_data;
+};
+
+struct WindowUpdateFrame {
+  std::uint32_t stream_id = 0;  // 0 = connection
+  std::uint32_t increment = 0;
+};
+
+/// Frames of types outside RFC 7540 (e.g. CACHE_DIGEST, 0xd). RFC 7540 §4.1
+/// requires implementations to ignore unknown types; we surface them so
+/// extensions can hook in, and drop them at the Connection if unhandled.
+struct ExtensionFrame {
+  std::uint8_t type = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t stream_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+using Frame = std::variant<DataFrame, HeadersFrame, PriorityFrame,
+                           RstStreamFrame, SettingsFrame, PushPromiseFrame,
+                           PingFrame, GoawayFrame, WindowUpdateFrame,
+                           ExtensionFrame>;
+
+/// Serialize any frame, splitting header blocks into HEADERS/PUSH_PROMISE +
+/// CONTINUATION when they exceed `max_frame_size`. DATA frames must already
+/// respect max_frame_size (the connection chunks them).
+std::vector<std::uint8_t> serialize(const Frame& frame,
+                                    std::uint32_t max_frame_size =
+                                        kDefaultMaxFrameSize);
+
+/// Incremental parser over the connection byte stream. The caller feeds
+/// arbitrary chunks; complete frames come back in order. The client
+/// connection preface must be consumed by the caller before feeding.
+class FrameParser {
+ public:
+  explicit FrameParser(std::uint32_t max_frame_size = kDefaultMaxFrameSize)
+      : max_frame_size_(max_frame_size) {}
+
+  /// Feed bytes; returns the frames completed by this chunk, or a connection
+  /// error (the stream is poisoned afterwards).
+  util::Expected<std::vector<Frame>, std::string> feed(
+      std::span<const std::uint8_t> bytes);
+
+  void set_max_frame_size(std::uint32_t size) noexcept {
+    max_frame_size_ = size;
+  }
+
+ private:
+  util::Expected<std::optional<Frame>, std::string> parse_one(
+      std::span<const std::uint8_t> payload, std::uint8_t type,
+      std::uint8_t flags, std::uint32_t stream_id);
+
+  std::vector<std::uint8_t> buffer_;
+  std::uint32_t max_frame_size_;
+  // CONTINUATION reassembly state.
+  bool expecting_continuation_ = false;
+  bool pending_is_push_promise_ = false;
+  HeadersFrame pending_headers_;
+  PushPromiseFrame pending_push_;
+};
+
+/// The 24-byte client connection preface (RFC 7540 §3.5).
+std::span<const std::uint8_t> client_preface();
+
+}  // namespace h2push::h2

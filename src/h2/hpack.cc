@@ -1,0 +1,316 @@
+#include "h2/hpack.h"
+
+#include <array>
+
+#include "h2/hpack_huffman.h"
+
+namespace h2push::h2 {
+namespace {
+
+// RFC 7541 Appendix A: the static table, 1-based indices 1..61.
+constexpr std::array<std::pair<std::string_view, std::string_view>, 61>
+    kStaticTable = {{
+        {":authority", ""},
+        {":method", "GET"},
+        {":method", "POST"},
+        {":path", "/"},
+        {":path", "/index.html"},
+        {":scheme", "http"},
+        {":scheme", "https"},
+        {":status", "200"},
+        {":status", "204"},
+        {":status", "206"},
+        {":status", "304"},
+        {":status", "400"},
+        {":status", "404"},
+        {":status", "500"},
+        {"accept-charset", ""},
+        {"accept-encoding", "gzip, deflate"},
+        {"accept-language", ""},
+        {"accept-ranges", ""},
+        {"accept", ""},
+        {"access-control-allow-origin", ""},
+        {"age", ""},
+        {"allow", ""},
+        {"authorization", ""},
+        {"cache-control", ""},
+        {"content-disposition", ""},
+        {"content-encoding", ""},
+        {"content-language", ""},
+        {"content-length", ""},
+        {"content-location", ""},
+        {"content-range", ""},
+        {"content-type", ""},
+        {"cookie", ""},
+        {"date", ""},
+        {"etag", ""},
+        {"expect", ""},
+        {"expires", ""},
+        {"from", ""},
+        {"host", ""},
+        {"if-match", ""},
+        {"if-modified-since", ""},
+        {"if-none-match", ""},
+        {"if-range", ""},
+        {"if-unmodified-since", ""},
+        {"last-modified", ""},
+        {"link", ""},
+        {"location", ""},
+        {"max-forwards", ""},
+        {"proxy-authenticate", ""},
+        {"proxy-authorization", ""},
+        {"range", ""},
+        {"referer", ""},
+        {"refresh", ""},
+        {"retry-after", ""},
+        {"server", ""},
+        {"set-cookie", ""},
+        {"strict-transport-security", ""},
+        {"transfer-encoding", ""},
+        {"user-agent", ""},
+        {"vary", ""},
+        {"via", ""},
+        {"www-authenticate", ""},
+    }};
+
+constexpr std::size_t kEntryOverhead = 32;
+
+// Find in static table: returns 1-based index of exact match (0 = none);
+// name_only gets the first name match.
+std::size_t static_find(const std::string& name, const std::string& value,
+                        std::size_t& name_only) {
+  name_only = 0;
+  for (std::size_t i = 0; i < kStaticTable.size(); ++i) {
+    if (kStaticTable[i].first != name) continue;
+    if (name_only == 0) name_only = i + 1;
+    if (kStaticTable[i].second == value) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void hpack_encode_int(std::uint64_t value, int prefix_bits,
+                      std::uint8_t first_byte_flags,
+                      std::vector<std::uint8_t>& out) {
+  const std::uint64_t max_prefix = (1ULL << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.push_back(static_cast<std::uint8_t>(first_byte_flags | value));
+    return;
+  }
+  out.push_back(static_cast<std::uint8_t>(first_byte_flags | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.push_back(static_cast<std::uint8_t>(0x80 | (value & 0x7f)));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+util::Expected<std::uint64_t, std::string> hpack_decode_int(
+    std::span<const std::uint8_t> in, std::size_t& pos, int prefix_bits) {
+  if (pos >= in.size()) return util::make_unexpected("int: truncated");
+  const std::uint64_t max_prefix = (1ULL << prefix_bits) - 1;
+  std::uint64_t value = in[pos++] & max_prefix;
+  if (value < max_prefix) return value;
+  int shift = 0;
+  while (true) {
+    if (pos >= in.size()) return util::make_unexpected("int: truncated");
+    if (shift > 56) return util::make_unexpected("int: overflow");
+    const std::uint8_t byte = in[pos++];
+    value += static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+void HpackDynamicTable::add(std::string name, std::string value) {
+  const std::size_t entry_size = name.size() + value.size() + kEntryOverhead;
+  if (entry_size > max_size_) {
+    // An entry larger than the table empties it (RFC 7541 §4.4).
+    evict_to(0);
+    return;
+  }
+  evict_to(max_size_ - entry_size);
+  size_ += entry_size;
+  entries_.push_front({std::move(name), std::move(value)});
+}
+
+void HpackDynamicTable::set_max_size(std::size_t max) {
+  max_size_ = max;
+  evict_to(max_size_);
+}
+
+void HpackDynamicTable::evict_to(std::size_t limit) {
+  while (size_ > limit && !entries_.empty()) {
+    const auto& oldest = entries_.back();
+    size_ -= oldest.name.size() + oldest.value.size() + kEntryOverhead;
+    entries_.pop_back();
+  }
+}
+
+std::size_t HpackDynamicTable::find(const std::string& name,
+                                    const std::string& value,
+                                    std::size_t& name_only_out) const {
+  name_only_out = npos;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name != name) continue;
+    if (name_only_out == npos) name_only_out = i;
+    if (entries_[i].value == value) return i;
+  }
+  return npos;
+}
+
+void HpackEncoder::set_table_size(std::size_t max) {
+  table_.set_max_size(max);
+  pending_size_update_ = true;
+  pending_size_ = max;
+}
+
+void HpackEncoder::encode_string(const std::string& s, bool use_huffman,
+                                 std::vector<std::uint8_t>& out) {
+  if (use_huffman) {
+    const std::size_t hlen = huffman_encoded_size(s);
+    if (hlen < s.size()) {
+      hpack_encode_int(hlen, 7, 0x80, out);
+      huffman_encode(s, out);
+      return;
+    }
+  }
+  hpack_encode_int(s.size(), 7, 0x00, out);
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> HpackEncoder::encode(const http::HeaderBlock& block,
+                                               bool use_huffman) {
+  std::vector<std::uint8_t> out;
+  if (pending_size_update_) {
+    hpack_encode_int(pending_size_, 5, 0x20, out);
+    pending_size_update_ = false;
+  }
+  for (const auto& h : block) {
+    std::size_t static_name = 0;
+    const std::size_t static_exact = static_find(h.name, h.value, static_name);
+    if (static_exact != 0) {
+      hpack_encode_int(static_exact, 7, 0x80, out);  // indexed (static)
+      continue;
+    }
+    std::size_t dyn_name = HpackDynamicTable::npos;
+    const std::size_t dyn_exact = table_.find(h.name, h.value, dyn_name);
+    if (dyn_exact != HpackDynamicTable::npos) {
+      hpack_encode_int(kStaticTable.size() + 1 + dyn_exact, 7, 0x80, out);
+      continue;
+    }
+    // Literal with incremental indexing.
+    if (static_name != 0) {
+      hpack_encode_int(static_name, 6, 0x40, out);
+    } else if (dyn_name != HpackDynamicTable::npos) {
+      hpack_encode_int(kStaticTable.size() + 1 + dyn_name, 6, 0x40, out);
+    } else {
+      out.push_back(0x40);
+      encode_string(h.name, use_huffman, out);
+    }
+    encode_string(h.value, use_huffman, out);
+    table_.add(h.name, h.value);
+  }
+  return out;
+}
+
+util::Expected<http::Header, std::string> HpackDecoder::lookup(
+    std::uint64_t index) const {
+  if (index == 0) return util::make_unexpected("hpack: index 0");
+  if (index <= kStaticTable.size()) {
+    const auto& [name, value] = kStaticTable[index - 1];
+    return http::Header{std::string(name), std::string(value)};
+  }
+  const std::uint64_t dyn = index - kStaticTable.size() - 1;
+  if (dyn >= table_.entry_count()) {
+    return util::make_unexpected("hpack: index out of range");
+  }
+  return table_.at(dyn);
+}
+
+util::Expected<std::string, std::string> HpackDecoder::decode_string(
+    std::span<const std::uint8_t> in, std::size_t& pos) {
+  if (pos >= in.size()) return util::make_unexpected("string: truncated");
+  const bool huffman = (in[pos] & 0x80) != 0;
+  auto len = hpack_decode_int(in, pos, 7);
+  if (!len) return util::make_unexpected(len.error());
+  if (pos + *len > in.size()) {
+    return util::make_unexpected("string: length beyond block");
+  }
+  const auto payload = in.subspan(pos, static_cast<std::size_t>(*len));
+  pos += static_cast<std::size_t>(*len);
+  if (!huffman) return std::string(payload.begin(), payload.end());
+  return huffman_decode(payload);
+}
+
+util::Expected<http::HeaderBlock, std::string> HpackDecoder::decode(
+    std::span<const std::uint8_t> input) {
+  http::HeaderBlock block;
+  std::size_t pos = 0;
+  bool seen_header = false;
+  while (pos < input.size()) {
+    const std::uint8_t b = input[pos];
+    if (b & 0x80) {
+      // Indexed header field.
+      auto index = hpack_decode_int(input, pos, 7);
+      if (!index) return util::make_unexpected(index.error());
+      auto header = lookup(*index);
+      if (!header) return util::make_unexpected(header.error());
+      block.push_back(*header);
+      seen_header = true;
+    } else if (b & 0x40) {
+      // Literal with incremental indexing.
+      auto index = hpack_decode_int(input, pos, 6);
+      if (!index) return util::make_unexpected(index.error());
+      std::string name;
+      if (*index == 0) {
+        auto n = decode_string(input, pos);
+        if (!n) return util::make_unexpected(n.error());
+        name = std::move(*n);
+      } else {
+        auto h = lookup(*index);
+        if (!h) return util::make_unexpected(h.error());
+        name = h->name;
+      }
+      auto value = decode_string(input, pos);
+      if (!value) return util::make_unexpected(value.error());
+      table_.add(name, *value);
+      block.push_back({std::move(name), std::move(*value)});
+      seen_header = true;
+    } else if (b & 0x20) {
+      // Dynamic table size update; must precede header fields (§4.2).
+      if (seen_header) {
+        return util::make_unexpected("hpack: size update after header");
+      }
+      auto size = hpack_decode_int(input, pos, 5);
+      if (!size) return util::make_unexpected(size.error());
+      if (*size > settings_max_) {
+        return util::make_unexpected("hpack: size update above SETTINGS cap");
+      }
+      table_.set_max_size(static_cast<std::size_t>(*size));
+    } else {
+      // Literal without indexing (0x00) or never-indexed (0x10).
+      auto index = hpack_decode_int(input, pos, 4);
+      if (!index) return util::make_unexpected(index.error());
+      std::string name;
+      if (*index == 0) {
+        auto n = decode_string(input, pos);
+        if (!n) return util::make_unexpected(n.error());
+        name = std::move(*n);
+      } else {
+        auto h = lookup(*index);
+        if (!h) return util::make_unexpected(h.error());
+        name = h->name;
+      }
+      auto value = decode_string(input, pos);
+      if (!value) return util::make_unexpected(value.error());
+      block.push_back({std::move(name), std::move(*value)});
+      seen_header = true;
+    }
+  }
+  return block;
+}
+
+}  // namespace h2push::h2

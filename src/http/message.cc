@@ -1,0 +1,91 @@
+#include "http/message.h"
+
+#include "util/strings.h"
+
+namespace h2push::http {
+
+std::string_view find_header(const HeaderBlock& block,
+                             std::string_view name) {
+  for (const auto& h : block) {
+    if (h.name == name) return h.value;
+  }
+  return {};
+}
+
+std::string_view to_string(ResourceType t) {
+  switch (t) {
+    case ResourceType::kHtml: return "html";
+    case ResourceType::kCss: return "css";
+    case ResourceType::kJs: return "js";
+    case ResourceType::kImage: return "image";
+    case ResourceType::kFont: return "font";
+    case ResourceType::kXhr: return "xhr";
+    case ResourceType::kOther: return "other";
+  }
+  return "other";
+}
+
+ResourceType classify(std::string_view content_type, std::string_view path) {
+  using util::ends_with;
+  const std::string ct = util::to_lower(content_type);
+  if (ct.find("text/html") != std::string::npos) return ResourceType::kHtml;
+  if (ct.find("text/css") != std::string::npos) return ResourceType::kCss;
+  if (ct.find("javascript") != std::string::npos) return ResourceType::kJs;
+  if (ct.find("image/") != std::string::npos) return ResourceType::kImage;
+  if (ct.find("font") != std::string::npos) return ResourceType::kFont;
+  if (ct.find("json") != std::string::npos) return ResourceType::kXhr;
+  // Extension fallback (query string stripped).
+  std::string_view p = path;
+  if (const auto q = p.find('?'); q != std::string_view::npos)
+    p = p.substr(0, q);
+  if (ends_with(p, ".html") || ends_with(p, ".htm") || p == "/" ||
+      p.rfind('.') == std::string_view::npos)
+    return ResourceType::kHtml;
+  if (ends_with(p, ".css")) return ResourceType::kCss;
+  if (ends_with(p, ".js") || ends_with(p, ".mjs")) return ResourceType::kJs;
+  if (ends_with(p, ".png") || ends_with(p, ".jpg") || ends_with(p, ".jpeg") ||
+      ends_with(p, ".gif") || ends_with(p, ".webp") || ends_with(p, ".svg") ||
+      ends_with(p, ".ico"))
+    return ResourceType::kImage;
+  if (ends_with(p, ".woff") || ends_with(p, ".woff2") || ends_with(p, ".ttf") ||
+      ends_with(p, ".otf"))
+    return ResourceType::kFont;
+  if (ends_with(p, ".json")) return ResourceType::kXhr;
+  return ResourceType::kOther;
+}
+
+std::string_view content_type_for(ResourceType t) {
+  switch (t) {
+    case ResourceType::kHtml: return "text/html; charset=utf-8";
+    case ResourceType::kCss: return "text/css";
+    case ResourceType::kJs: return "application/javascript";
+    case ResourceType::kImage: return "image/png";
+    case ResourceType::kFont: return "font/woff2";
+    case ResourceType::kXhr: return "application/json";
+    case ResourceType::kOther: return "application/octet-stream";
+  }
+  return "application/octet-stream";
+}
+
+HeaderBlock Request::to_h2_headers() const {
+  HeaderBlock block;
+  block.reserve(4 + headers.size());
+  block.push_back({":method", method});
+  block.push_back({":scheme", url.scheme});
+  block.push_back({":authority", url.host});
+  block.push_back({":path", url.path});
+  block.insert(block.end(), headers.begin(), headers.end());
+  return block;
+}
+
+HeaderBlock Response::to_h2_headers() const {
+  HeaderBlock block;
+  block.reserve(3 + headers.size());
+  block.push_back({":status", std::to_string(status)});
+  block.push_back({"content-type", std::string(content_type_for(type))});
+  block.push_back({"content-length", std::to_string(body_size)});
+  block.insert(block.end(), headers.begin(), headers.end());
+  return block;
+}
+
+}  // namespace h2push::http

@@ -1,0 +1,63 @@
+// HTTP message types shared by the H2 codec, replay store, server and
+// browser: header fields (H2 pseudo-header convention), request/response
+// records, and resource-type classification used everywhere push strategies
+// filter by type (paper §4.2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/url.h"
+
+namespace h2push::http {
+
+struct Header {
+  std::string name;   ///< lowercase; pseudo-headers start with ':'
+  std::string value;
+  bool operator==(const Header&) const = default;
+};
+
+using HeaderBlock = std::vector<Header>;
+
+/// First matching header value or empty view.
+std::string_view find_header(const HeaderBlock& block, std::string_view name);
+
+enum class ResourceType : std::uint8_t {
+  kHtml,
+  kCss,
+  kJs,
+  kImage,
+  kFont,
+  kXhr,
+  kOther,
+};
+
+std::string_view to_string(ResourceType t);
+
+/// Classify by content-type value, with path-extension fallback.
+ResourceType classify(std::string_view content_type, std::string_view path);
+
+/// Content-type header value for a resource type (corpus synthesis).
+std::string_view content_type_for(ResourceType t);
+
+struct Request {
+  std::string method = "GET";
+  Url url;
+  HeaderBlock headers;  ///< extra headers beyond the pseudo set
+
+  /// H2 header block including :method/:scheme/:authority/:path.
+  HeaderBlock to_h2_headers() const;
+};
+
+struct Response {
+  int status = 200;
+  ResourceType type = ResourceType::kOther;
+  std::uint64_t body_size = 0;  ///< bytes on the wire (post content-coding)
+  HeaderBlock headers;
+
+  HeaderBlock to_h2_headers() const;
+};
+
+}  // namespace h2push::http

@@ -1,0 +1,32 @@
+#include "replay/record.h"
+
+namespace h2push::replay {
+
+void RecordStore::add(RecordedExchange exchange) {
+  const auto key =
+      std::make_pair(exchange.request.url.host, exchange.request.url.path);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    exchanges_[it->second] = std::move(exchange);  // latest recording wins
+    return;
+  }
+  index_.emplace(key, exchanges_.size());
+  exchanges_.push_back(std::move(exchange));
+}
+
+const RecordedExchange* RecordStore::find(const std::string& host,
+                                          const std::string& path) const {
+  const auto it = index_.find(std::make_pair(host, path));
+  return it == index_.end() ? nullptr : &exchanges_[it->second];
+}
+
+std::vector<const RecordedExchange*> RecordStore::for_host(
+    const std::string& host) const {
+  std::vector<const RecordedExchange*> out;
+  for (const auto& e : exchanges_) {
+    if (e.request.url.host == host) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace h2push::replay

@@ -1,0 +1,54 @@
+// Mahimahi-style record store.
+//
+// The paper records request/response pairs with an H2-capable mitmproxy and
+// replays them from an h2o-FastCGI module that matches requests against the
+// database (§4.1). Our RecordStore is that database: immutable request →
+// response records including real body bytes (the browser model parses the
+// HTML/CSS bodies it receives). Bodies are shared_ptr so the store can be
+// replayed thousands of times without copying.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2/connection.h"
+#include "http/message.h"
+
+namespace h2push::replay {
+
+struct RecordedExchange {
+  http::Request request;
+  http::Response response;
+  h2::Body body;
+  /// True if the real-world deployment pushed this resource (Fig. 2b
+  /// replays "the same objects as in the Internet").
+  bool recorded_pushed = false;
+};
+
+class RecordStore {
+ public:
+  void add(RecordedExchange exchange);
+
+  /// Exact match on host + path (Mahimahi's matching, simplified: our
+  /// corpus generates canonical URLs so no fuzzy fallback is needed).
+  const RecordedExchange* find(const std::string& host,
+                               const std::string& path) const;
+
+  const std::vector<RecordedExchange>& all() const noexcept {
+    return exchanges_;
+  }
+  std::size_t size() const noexcept { return exchanges_.size(); }
+
+  /// All exchanges whose request host is `host`.
+  std::vector<const RecordedExchange*> for_host(
+      const std::string& host) const;
+
+ private:
+  std::vector<RecordedExchange> exchanges_;
+  std::map<std::pair<std::string, std::string>, std::size_t> index_;
+};
+
+}  // namespace h2push::replay

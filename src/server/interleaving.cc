@@ -1,0 +1,55 @@
+#include "server/interleaving.h"
+
+namespace h2push::server {
+
+void InterleavingScheduler::configure(std::uint32_t parent,
+                                      std::size_t offset,
+                                      std::set<std::uint32_t> critical) {
+  configured_ = true;
+  parent_ = parent;
+  offset_ = offset;
+  pending_critical_ = std::move(critical);
+  // Streams that already finished (e.g. a tiny push fully written before the
+  // policy finished configuring) must not wedge the parent.
+  for (const auto id : finished_) pending_critical_.erase(id);
+}
+
+bool InterleavingScheduler::paused(std::uint32_t id) const {
+  return configured_ && id == parent_ && parent_sent_ >= offset_ &&
+         !critical_done();
+}
+
+void InterleavingScheduler::on_stream_removed(std::uint32_t id) {
+  tree_.remove(id);
+  pending_critical_.erase(id);  // a cancelled push must not wedge the parent
+}
+
+void InterleavingScheduler::on_data_sent(std::uint32_t id,
+                                         std::size_t bytes) {
+  if (configured_ && id == parent_) parent_sent_ += bytes;
+}
+
+void InterleavingScheduler::on_stream_finished(std::uint32_t id) {
+  pending_critical_.erase(id);
+  finished_.insert(id);
+}
+
+std::uint32_t InterleavingScheduler::pick(
+    const std::function<bool(std::uint32_t)>& ready) {
+  // During the pause the critical pushes are scheduled even though the tree
+  // would favour their parent; afterwards the plain dependency order rules.
+  return tree_.pick([this, &ready](std::uint32_t id) {
+    if (paused(id)) return false;
+    return ready(id);
+  });
+}
+
+std::size_t InterleavingScheduler::max_bytes_for(std::uint32_t id) {
+  if (configured_ && id == parent_ && parent_sent_ < offset_ &&
+      !critical_done()) {
+    return offset_ - parent_sent_;  // stop exactly at the switch point
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace h2push::server

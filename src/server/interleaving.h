@@ -1,0 +1,58 @@
+// Interleaving push scheduler — the paper's §5 contribution.
+//
+// h2o's default scheduler treats a pushed stream as a child of its parent:
+// as long as the parent (the HTML) has data and window, the entire parent is
+// sent first, delaying pushed critical resources (Fig. 5a, left). The
+// modification: stop the parent stream after a configured byte offset (e.g.
+// right after </head> plus the first bytes of <body>) and hard-switch to the
+// pushed critical resources; once they have been fully sent, resume the
+// parent. Non-critical pushes still follow the dependency tree (after the
+// parent).
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "h2/priority.h"
+
+namespace h2push::server {
+
+class InterleavingScheduler final : public h2::StreamScheduler {
+ public:
+  /// Configure the hard switch: after `offset` bytes of `parent` DATA,
+  /// serve `critical` streams to completion before resuming the parent.
+  /// Call after the pushes have been promised (stream ids known).
+  void configure(std::uint32_t parent, std::size_t offset,
+                 std::set<std::uint32_t> critical);
+
+  bool paused(std::uint32_t id) const;
+
+  // StreamScheduler:
+  void on_stream_added(std::uint32_t id, const h2::PrioritySpec& s) override {
+    tree_.add(id, s);
+  }
+  void on_reprioritized(std::uint32_t id,
+                        const h2::PrioritySpec& s) override {
+    tree_.reprioritize(id, s);
+  }
+  void on_stream_removed(std::uint32_t id) override;
+  void on_data_sent(std::uint32_t id, std::size_t bytes) override;
+  void on_stream_finished(std::uint32_t id) override;
+  std::uint32_t pick(const std::function<bool(std::uint32_t)>& ready) override;
+  std::size_t max_bytes_for(std::uint32_t id) override;
+
+  h2::PriorityTree& tree() { return tree_; }
+
+ private:
+  bool critical_done() const { return pending_critical_.empty(); }
+
+  h2::PriorityTree tree_;
+  bool configured_ = false;
+  std::uint32_t parent_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t parent_sent_ = 0;
+  std::set<std::uint32_t> pending_critical_;
+  std::set<std::uint32_t> finished_;  // streams done before configure()
+};
+
+}  // namespace h2push::server

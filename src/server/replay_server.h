@@ -1,0 +1,109 @@
+// h2o-like replay server session.
+//
+// One ReplayServer handles one H2 connection (Mahimahi spawns one server
+// per recorded IP; the testbed creates one session per client connection).
+// Requests are matched against the record store by :authority + :path — the
+// h2o-FastCGI module of the paper. When a request matches the push policy's
+// trigger (normally the landing page), the server issues PUSH_PROMISEs in
+// policy order, submits the pushed responses, and — if the policy asks for
+// interleaving — configures the InterleavingScheduler with the parent
+// stream, byte offset, and the critical push set.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2/cache_digest.h"
+#include "h2/connection.h"
+#include "replay/origin.h"
+#include "replay/record.h"
+#include "server/interleaving.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace h2push::server {
+
+/// What to push, and how, when the trigger request arrives.
+struct PushPolicy {
+  std::string trigger_host;
+  std::string trigger_path = "/";
+  /// Absolute URLs, in push order.
+  std::vector<std::string> push_urls;
+  /// Use the modified (interleaving) scheduler.
+  bool interleaving = false;
+  /// Bytes of the parent (HTML) to send before the hard switch.
+  std::size_t interleave_offset = 4096;
+  /// The first `critical_count` push_urls are drained during the pause;
+  /// the rest follow the dependency tree after the parent.
+  std::size_t critical_count = static_cast<std::size_t>(-1);
+  /// URLs advertised as "link: <url>; rel=preload" response headers on the
+  /// trigger instead of (or besides) being pushed — the Vroom/MetaPush
+  /// server-aided-hints baseline.
+  std::vector<std::string> hint_urls;
+  /// Honor a received CACHE_DIGEST: skip pushing resources the digest says
+  /// the client already has.
+  bool honor_cache_digest = true;
+
+  bool empty() const noexcept {
+    return push_urls.empty() && hint_urls.empty();
+  }
+};
+
+class ReplayServer {
+ public:
+  struct Config {
+    const replay::RecordStore* store = nullptr;
+    const replay::OriginMap* origins = nullptr;
+    /// Push policy; only applied when the trigger request arrives on this
+    /// connection. Optional: plain serving otherwise.
+    std::optional<PushPolicy> policy;
+    /// Per-response server think time (0 in the deterministic testbed).
+    sim::Time think_time_mean = 0;
+  };
+
+  ReplayServer(sim::Simulator& sim, Config config, util::Rng rng);
+
+  /// The server-side H2 endpoint; the testbed wires its produce()/receive()
+  /// to the TCP model.
+  h2::Connection& connection() { return *conn_; }
+
+  /// Set by the testbed: called when the endpoint has bytes to flush.
+  void set_write_ready(std::function<void()> cb) {
+    write_ready_ = std::move(cb);
+  }
+
+  std::uint64_t pushed_streams() const noexcept { return pushed_streams_; }
+  std::uint64_t push_promises_sent() const noexcept {
+    return push_promises_sent_;
+  }
+  std::uint64_t pushes_skipped_by_digest() const noexcept {
+    return pushes_skipped_by_digest_;
+  }
+  bool received_cache_digest() const noexcept { return has_digest_; }
+
+ private:
+  void on_request(std::uint32_t stream, http::HeaderBlock headers);
+  void respond(std::uint32_t stream, const replay::RecordedExchange& ex);
+  void respond_with_hints(std::uint32_t stream,
+                          const replay::RecordedExchange& ex,
+                          const std::vector<std::string>& hints);
+  void apply_push_policy(std::uint32_t parent_stream);
+
+  sim::Simulator& sim_;
+  Config config_;
+  util::Rng rng_;
+  std::unique_ptr<h2::Connection> conn_;
+  InterleavingScheduler* interleaver_ = nullptr;  // owned by conn_ if set
+  std::function<void()> write_ready_;
+  bool corked_ = false;  // hold writes while a response is being assembled
+  h2::CacheDigest digest_;
+  bool has_digest_ = false;
+  std::uint64_t pushed_streams_ = 0;
+  std::uint64_t push_promises_sent_ = 0;
+  std::uint64_t pushes_skipped_by_digest_ = 0;
+};
+
+}  // namespace h2push::server

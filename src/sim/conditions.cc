@@ -1,0 +1,45 @@
+#include "sim/conditions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2push::sim {
+
+NetworkConditions NetworkConditions::testbed() { return NetworkConditions{}; }
+
+NetworkConditions NetworkConditions::internet() {
+  NetworkConditions c;
+  c.rtt_jitter_sigma = 0.60;
+  c.bw_jitter_sigma = 0.50;
+  c.max_loss = 0.02;
+  c.server_think_mean = from_ms(110);
+  c.dynamic_content_prob = 0.50;
+  return c;
+}
+
+ConditionSample sample_conditions(const NetworkConditions& cond,
+                                  util::Rng& rng) {
+  ConditionSample s;
+  s.down_bps = cond.down_bps;
+  s.up_bps = cond.up_bps;
+  if (cond.bw_jitter_sigma > 0) {
+    // Fluctuation reduces effective capacity more often than it raises it.
+    s.down_bps *= std::min(1.2, rng.lognormal(-0.05, cond.bw_jitter_sigma));
+    s.up_bps *= std::min(1.2, rng.lognormal(-0.05, cond.bw_jitter_sigma));
+  }
+  s.loss = cond.max_loss > 0 ? rng.uniform(0.0, cond.max_loss) : 0.0;
+  s.base_rtt = cond.base_rtt;
+  s.rtt_jitter_sigma = cond.rtt_jitter_sigma;
+  s.server_think_mean = cond.server_think_mean;
+  return s;
+}
+
+Time ConditionSample::origin_rtt(util::Rng& rng) const {
+  if (rtt_jitter_sigma <= 0) return base_rtt;
+  const double mult = rng.lognormal(0.0, rtt_jitter_sigma);
+  const auto rtt = static_cast<Time>(static_cast<double>(base_rtt) *
+                                     std::max(0.3, mult));
+  return std::max<Time>(rtt, from_ms(5));
+}
+
+}  // namespace h2push::sim

@@ -1,0 +1,54 @@
+// Network condition profiles.
+//
+// The paper evaluates under a fixed DSL profile shaped with tc (50 ms RTT,
+// 16 Mbit/s down, 1 Mbit/s up) — our "testbed" conditions — and compares
+// testbed variability against the live Internet (Fig. 2a). The "Internet"
+// profile adds the variance sources the testbed removes: per-connection RTT
+// jitter, bandwidth fluctuation, random loss, server think time, and dynamic
+// third-party content (the latter is applied by the corpus layer).
+#pragma once
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace h2push::sim {
+
+struct NetworkConditions {
+  double down_bps = 16e6;
+  double up_bps = 1e6;
+  Time base_rtt = from_ms(50);
+  /// tc's default pfifo qdisc holds 1000 packets (~1.5 MB at full MTU) —
+  /// the paper's shaped DSL link effectively never drops page-sized bursts.
+  std::size_t queue_capacity = 1000 * 1500;
+
+  // --- variability sources (zero in the testbed profile) ---
+  double rtt_jitter_sigma = 0.0;     ///< lognormal sigma on per-conn RTT
+  double bw_jitter_sigma = 0.0;      ///< lognormal sigma on link rates
+  double max_loss = 0.0;             ///< per-run loss drawn U[0, max_loss]
+  Time server_think_mean = 0;        ///< exponential per-response delay
+  double dynamic_content_prob = 0.0; ///< per-resource mutation chance
+
+  /// Deterministic lab conditions (paper §4.1).
+  static NetworkConditions testbed();
+
+  /// Live-Internet-like conditions (paper Fig. 2a comparison).
+  static NetworkConditions internet();
+};
+
+/// Concrete per-run draw from a NetworkConditions profile.
+struct ConditionSample {
+  double down_bps;
+  double up_bps;
+  double loss;
+  Time base_rtt;          ///< run-level RTT before per-connection jitter
+  double rtt_jitter_sigma;
+  Time server_think_mean;
+
+  /// RTT for one origin's connection (applies per-connection jitter).
+  Time origin_rtt(util::Rng& rng) const;
+};
+
+ConditionSample sample_conditions(const NetworkConditions& cond,
+                                  util::Rng& rng);
+
+}  // namespace h2push::sim

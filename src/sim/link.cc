@@ -1,0 +1,43 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+namespace h2push::sim {
+
+Link::Link(Simulator& sim, LinkConfig config, util::Rng loss_rng)
+    : sim_(sim), config_(config), loss_rng_(loss_rng) {}
+
+bool Link::transmit(std::size_t bytes, Time extra_delay,
+                    std::function<void()> on_delivered) {
+  if (queued_bytes_ + bytes > config_.queue_capacity ||
+      queued_packets_ >= config_.queue_packets) {
+    ++dropped_;
+    return false;
+  }
+  if (config_.random_loss > 0 && loss_rng_.bernoulli(config_.random_loss)) {
+    ++dropped_;
+    return true;  // consumed by the network, silently lost
+  }
+  queued_bytes_ += bytes;
+  ++queued_packets_;
+  const double ser_seconds =
+      static_cast<double>(bytes) * 8.0 / config_.rate_bps;
+  const Time ser = from_seconds(ser_seconds);
+  const Time start = std::max(sim_.now(), busy_until_);
+  const Time depart = start + ser;
+  busy_until_ = depart;
+  // Bytes leave the queue when serialization completes...
+  sim_.schedule_at(depart, [this, bytes] {
+    queued_bytes_ -= bytes;
+    --queued_packets_;
+  });
+  // ...and arrive after propagation.
+  sim_.schedule_at(depart + config_.prop_delay + extra_delay,
+                   [this, cb = std::move(on_delivered)] {
+                     ++delivered_;
+                     cb();
+                   });
+  return true;
+}
+
+}  // namespace h2push::sim

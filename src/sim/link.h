@@ -1,0 +1,71 @@
+// Links and routes.
+//
+// A Link models one direction of a bottleneck: fixed rate, propagation
+// delay, and a droptail byte queue. All page-load connections share the two
+// access-link directions (16 Mbit/s down, 1 Mbit/s up in the paper's DSL
+// profile), which is what creates bandwidth contention between concurrent
+// push streams (paper §5, w10). A Route is a Link plus an extra per-path
+// propagation delay (server distance behind the access link).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace h2push::sim {
+
+struct LinkConfig {
+  double rate_bps = 16e6;            ///< serialization rate, bits/second
+  Time prop_delay = 0;               ///< one-way propagation on this link
+  /// Droptail buffer. tc's default pfifo qdisc limits the queue in
+  /// *packets* (1000), so a flood of 40-byte ACKs cannot build seconds of
+  /// queueing delay the way a byte-capped buffer would; the byte cap is a
+  /// safety backstop.
+  std::size_t queue_packets = 1000;
+  std::size_t queue_capacity = 1000 * 1500;  ///< bytes backstop
+  double random_loss = 0.0;          ///< iid loss probability (Internet mode)
+};
+
+class Link {
+ public:
+  Link(Simulator& sim, LinkConfig config, util::Rng loss_rng);
+
+  /// Enqueue a packet of `bytes` (incl. headers). `on_delivered` fires after
+  /// queueing + serialization + propagation (+ extra_delay). Returns false
+  /// if the packet was dropped (queue overflow or random loss).
+  bool transmit(std::size_t bytes, Time extra_delay,
+                std::function<void()> on_delivered);
+
+  std::size_t queued_bytes() const noexcept { return queued_bytes_; }
+  std::size_t queued_packets() const noexcept { return queued_packets_; }
+  std::uint64_t delivered_packets() const noexcept { return delivered_; }
+  std::uint64_t dropped_packets() const noexcept { return dropped_; }
+  const LinkConfig& config() const noexcept { return config_; }
+  void set_rate(double bps) noexcept { config_.rate_bps = bps; }
+  void set_random_loss(double p) noexcept { config_.random_loss = p; }
+
+ private:
+  Simulator& sim_;
+  LinkConfig config_;
+  util::Rng loss_rng_;
+  Time busy_until_ = 0;
+  std::size_t queued_bytes_ = 0;
+  std::size_t queued_packets_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// One direction of a path: the shared access link plus path-specific extra
+/// propagation (distance to this origin's server).
+struct Route {
+  Link* link = nullptr;
+  Time extra_prop = 0;
+
+  bool transmit(std::size_t bytes, std::function<void()> on_delivered) const {
+    return link->transmit(bytes, extra_prop, std::move(on_delivered));
+  }
+};
+
+}  // namespace h2push::sim

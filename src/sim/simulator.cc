@@ -1,0 +1,47 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace h2push::sim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast is UB-adjacent,
+    // so copy the small members and move the functor after pop.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(Time deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > deadline) break;
+    step();
+  }
+}
+
+std::size_t Simulator::pending_events() const noexcept {
+  return queue_.size() - cancelled_.size();
+}
+
+}  // namespace h2push::sim

@@ -1,0 +1,69 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with deterministic ordering: events fire in
+// (time, insertion-sequence) order, so two events scheduled for the same
+// instant run in the order they were scheduled. Cancellation is lazy (O(1)),
+// which suits the TCP retransmission timers that are rescheduled on every
+// ACK.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+#include "sim/time.h"
+
+namespace h2push::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` after now().
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Safe to call with kInvalidEvent or an id that
+  /// already fired (no-op).
+  void cancel(EventId id);
+
+  /// Run the next pending event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty or `deadline` is reached.
+  void run(Time deadline = INT64_MAX);
+
+  std::size_t pending_events() const noexcept;
+  std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;  // FIFO among same-time events
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace h2push::sim

@@ -1,0 +1,315 @@
+#include "sim/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace h2push::sim {
+
+TcpConnection::TcpConnection(Simulator& sim, TcpConfig config, Route up,
+                             Route down, Callbacks callbacks)
+    : sim_(sim), config_(config), callbacks_(std::move(callbacks)) {
+  up_.data_route = up;
+  up_.ack_route = down;
+  down_.data_route = down;
+  down_.ack_route = up;
+  for (Half* h : {&up_, &down_}) {
+    h->cwnd = config_.initial_cwnd;
+    h->ssthresh = config_.initial_ssthresh;
+    h->rto = config_.rto_initial;
+  }
+}
+
+void TcpConnection::connect() {
+  // Handshake packets travel the real routes so they experience queueing
+  // and loss like everything else; a lost packet is retransmitted with
+  // exponential backoff (RFC 6298-style initial timer).
+  handshake_step_ = 0;
+  handshake_total_steps_ = 2 + 2 * std::max(0, config_.tls_round_trips);
+  handshake_rto_ = config_.rto_initial;
+  send_handshake_packet();
+}
+
+void TcpConnection::send_handshake_packet() {
+  const int step = handshake_step_;
+  if (step >= handshake_total_steps_) return;
+  const bool upstream = (step % 2) == 0;  // client flights on even steps
+  std::size_t bytes = config_.header_bytes;
+  if (step >= 2) {
+    bytes += upstream ? config_.tls_client_flight : config_.tls_server_flight;
+  }
+  const Route& route = upstream ? up_.data_route : down_.data_route;
+  route.transmit(bytes, [this, step] { advance_handshake(step); });
+  sim_.cancel(handshake_timer_);
+  handshake_timer_ = sim_.schedule_in(handshake_rto_, [this, step] {
+    if (handshake_step_ != step) return;  // progressed meanwhile
+    handshake_rto_ = std::min<Time>(handshake_rto_ * 2, from_seconds(20));
+    send_handshake_packet();
+  });
+}
+
+void TcpConnection::advance_handshake(int arrived_step) {
+  if (arrived_step != handshake_step_) return;  // stale duplicate
+  handshake_step_ = arrived_step + 1;
+  sim_.cancel(handshake_timer_);
+  handshake_timer_ = kInvalidEvent;
+  const bool was_last_up = handshake_total_steps_ > 2 &&
+                           (arrived_step % 2) == 0 &&
+                           arrived_step == handshake_total_steps_ - 2;
+  const bool was_last_down = arrived_step == handshake_total_steps_ - 1;
+  if (was_last_up && callbacks_.on_accepted) {
+    // Server-side handshake completes when it receives the final client
+    // flight; the server may start writing (e.g. its SETTINGS frame).
+    callbacks_.on_accepted();
+  }
+  if (was_last_down) {
+    connected_ = true;
+    connect_end_time_ = sim_.now();
+    if (handshake_total_steps_ == 2 && callbacks_.on_accepted) {
+      callbacks_.on_accepted();  // no TLS: accept == connect
+    }
+    if (callbacks_.on_connected) callbacks_.on_connected();
+    return;
+  }
+  send_handshake_packet();
+}
+
+void TcpConnection::send(Side side, std::span<const std::uint8_t> data) {
+  Half& h = half(side);
+  h.buffer.insert(h.buffer.end(), data.begin(), data.end());
+  h.app_end += data.size();
+  if (unsent_bytes(side) >= config_.write_watermark) h.writable_low = false;
+  try_send(side);
+}
+
+std::size_t TcpConnection::unsent_bytes(Side side) const noexcept {
+  const Half& h = half(side);
+  return static_cast<std::size_t>(h.app_end - h.snd_nxt);
+}
+
+bool TcpConnection::writable(Side side) const noexcept {
+  return unsent_bytes(side) < config_.write_watermark;
+}
+
+std::uint64_t TcpConnection::bytes_delivered_to(Side side) const noexcept {
+  // Data delivered *to* the client travelled on the down half.
+  return side == Side::kClient ? down_.delivered : up_.delivered;
+}
+
+std::uint64_t TcpConnection::retransmissions() const noexcept {
+  return up_.retransmissions + down_.retransmissions;
+}
+
+double TcpConnection::cwnd_segments(Side sender) const noexcept {
+  return half(sender).cwnd;
+}
+
+void TcpConnection::try_send(Side sender) {
+  if (!connected_ && sender == Side::kServer) {
+    // The server may buffer before the handshake completes; data flows once
+    // connected (on_accepted callers write after handshake by construction).
+  }
+  Half& h = half(sender);
+  const auto mss = static_cast<std::uint64_t>(config_.mss);
+  while (h.snd_nxt < h.app_end) {
+    const std::uint64_t in_flight = h.snd_nxt - h.snd_una;
+    const auto cwnd_bytes =
+        static_cast<std::uint64_t>(h.cwnd * static_cast<double>(mss));
+    if (in_flight + mss > cwnd_bytes && in_flight > 0) break;
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(mss, h.app_end - h.snd_nxt));
+    transmit_segment(sender, h.snd_nxt, len, /*is_retransmit=*/false);
+    h.snd_nxt += len;
+  }
+  maybe_signal_writable(sender);
+}
+
+void TcpConnection::transmit_segment(Side sender, std::uint64_t seq,
+                                     std::size_t len, bool is_retransmit) {
+  Half& h = half(sender);
+  assert(seq >= h.base_seq);
+  const std::size_t off = static_cast<std::size_t>(seq - h.base_seq);
+  assert(off + len <= h.buffer.size());
+  std::vector<std::uint8_t> payload(h.buffer.begin() + off,
+                                    h.buffer.begin() + off + len);
+  if (is_retransmit) ++h.retransmissions;
+  // Karn: only sample RTT on fresh transmissions, one sample at a time.
+  if (!is_retransmit && h.sample_sent_at < 0) {
+    h.sample_seq = seq + len;
+    h.sample_sent_at = sim_.now();
+  } else if (is_retransmit && seq < h.sample_seq) {
+    h.sample_sent_at = -1;  // invalidate sample spanning a retransmit
+  }
+  h.data_route.transmit(
+      len + config_.header_bytes,
+      [this, sender, seq, payload = std::move(payload)]() mutable {
+        on_segment(sender, seq, std::move(payload));
+      });
+  arm_rto(sender);
+}
+
+void TcpConnection::on_segment(Side sender, std::uint64_t seq,
+                               std::vector<std::uint8_t> payload) {
+  Half& h = half(sender);
+  const std::uint64_t end = seq + payload.size();
+  if (end <= h.rcv_nxt) {
+    send_ack(sender);  // duplicate of already-received data
+    return;
+  }
+  if (seq > h.rcv_nxt) {
+    h.ooo.emplace(seq, std::move(payload));  // hole: buffer out of order
+    send_ack(sender);
+    return;
+  }
+  // In-order (possibly partially duplicate) segment: deliver.
+  std::vector<std::uint8_t> deliverable(
+      payload.begin() + static_cast<std::ptrdiff_t>(h.rcv_nxt - seq),
+      payload.end());
+  h.rcv_nxt = end;
+  // Drain any out-of-order segments that are now contiguous.
+  while (!h.ooo.empty()) {
+    auto it = h.ooo.begin();
+    if (it->first > h.rcv_nxt) break;
+    const std::uint64_t seg_end = it->first + it->second.size();
+    if (seg_end > h.rcv_nxt) {
+      deliverable.insert(
+          deliverable.end(),
+          it->second.begin() +
+              static_cast<std::ptrdiff_t>(h.rcv_nxt - it->first),
+          it->second.end());
+      h.rcv_nxt = seg_end;
+    }
+    h.ooo.erase(it);
+  }
+  h.delivered += deliverable.size();
+  send_ack(sender);
+  if (callbacks_.on_receive) {
+    callbacks_.on_receive(receiver_of(sender), deliverable);
+  }
+}
+
+void TcpConnection::send_ack(Side data_sender) {
+  Half& h = half(data_sender);
+  const std::uint64_t ack = h.rcv_nxt;
+  h.last_ack_sent = ack;
+  h.ack_route.transmit(config_.header_bytes,
+                       [this, data_sender, ack] { on_ack(data_sender, ack); });
+}
+
+void TcpConnection::on_ack(Side sender, std::uint64_t ack) {
+  Half& h = half(sender);
+  const auto mss_d = static_cast<double>(config_.mss);
+  if (ack > h.snd_una) {
+    const std::uint64_t newly = ack - h.snd_una;
+    h.snd_una = ack;
+    // RTT sample.
+    if (h.sample_sent_at >= 0 && ack >= h.sample_seq) {
+      const Time rtt = sim_.now() - h.sample_sent_at;
+      h.sample_sent_at = -1;
+      if (!h.rtt_seeded) {
+        h.srtt = rtt;
+        h.rttvar = rtt / 2;
+        h.rtt_seeded = true;
+      } else {
+        const Time err = std::abs(h.srtt - rtt);
+        h.rttvar = (3 * h.rttvar + err) / 4;
+        h.srtt = (7 * h.srtt + rtt) / 8;
+      }
+      h.rto = std::max(config_.rto_min, h.srtt + 4 * h.rttvar);
+    }
+    // Karn: a backed-off RTO is retained until a fresh RTT sample — resets
+    // on mere ACK progress re-arm spurious timeouts when ACKs are merely
+    // delayed (e.g. queued behind requests on the thin uplink).
+    if (h.in_recovery) {
+      if (ack >= h.recover) {
+        h.in_recovery = false;
+        h.dup_acks = 0;
+        h.cwnd = h.ssthresh;
+      } else {
+        // NewReno partial ACK: retransmit the next hole immediately.
+        const std::size_t len = static_cast<std::size_t>(std::min<
+            std::uint64_t>(config_.mss, h.app_end - h.snd_una));
+        if (len > 0)
+          transmit_segment(sender, h.snd_una, len, /*is_retransmit=*/true);
+      }
+    } else {
+      h.dup_acks = 0;
+      const double acked_segments = static_cast<double>(newly) / mss_d;
+      if (h.cwnd < h.ssthresh) {
+        h.cwnd += acked_segments;  // slow start
+      } else {
+        h.cwnd += acked_segments / h.cwnd;  // congestion avoidance
+      }
+    }
+    // Trim acknowledged bytes from the retransmission buffer.
+    const std::size_t trim = static_cast<std::size_t>(h.snd_una - h.base_seq);
+    if (trim > 64 * 1024 || trim == h.buffer.size()) {
+      h.buffer.erase(h.buffer.begin(),
+                     h.buffer.begin() + static_cast<std::ptrdiff_t>(trim));
+      h.base_seq = h.snd_una;
+    }
+    if (h.snd_una == h.app_end) {
+      sim_.cancel(h.rto_timer);
+      h.rto_timer = kInvalidEvent;
+    } else {
+      arm_rto(sender);
+    }
+  } else if (ack == h.snd_una && h.snd_nxt > h.snd_una) {
+    ++h.dup_acks;
+    if (h.dup_acks == 3 && !h.in_recovery) {
+      // Fast retransmit + NewReno recovery.
+      const double flight =
+          static_cast<double>(h.snd_nxt - h.snd_una) / mss_d;
+      h.ssthresh = std::max(flight / 2.0, 2.0);
+      h.cwnd = h.ssthresh + 3.0;
+      h.in_recovery = true;
+      h.recover = h.snd_nxt;
+      const std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(config_.mss, h.app_end - h.snd_una));
+      if (len > 0)
+        transmit_segment(sender, h.snd_una, len, /*is_retransmit=*/true);
+    } else if (h.dup_acks > 3 && h.in_recovery) {
+      h.cwnd += 1.0;  // inflate during recovery
+    }
+  }
+  try_send(sender);
+}
+
+void TcpConnection::arm_rto(Side sender) {
+  Half& h = half(sender);
+  sim_.cancel(h.rto_timer);
+  h.rto_timer = sim_.schedule_in(h.rto, [this, sender] { on_rto(sender); });
+}
+
+void TcpConnection::on_rto(Side sender) {
+  Half& h = half(sender);
+  h.rto_timer = kInvalidEvent;
+  if (h.snd_una >= h.app_end) return;  // nothing outstanding
+  const double flight =
+      static_cast<double>(h.snd_nxt - h.snd_una) / static_cast<double>(
+          config_.mss);
+  h.ssthresh = std::max(flight / 2.0, 2.0);
+  h.cwnd = 1.0;
+  h.dup_acks = 0;
+  h.in_recovery = false;
+  h.rto = std::min<Time>(h.rto * 2, from_seconds(60));  // Karn backoff
+  // Go-back-N: multiple holes in one window would otherwise each cost one
+  // (exponentially growing) RTO. The receiver buffers out-of-order data and
+  // acks cumulatively, so redundant retransmissions resolve instantly.
+  h.snd_nxt = h.snd_una;
+  h.sample_sent_at = -1;  // Karn: no sampling across a timeout
+  ++h.retransmissions;
+  try_send(sender);
+}
+
+void TcpConnection::maybe_signal_writable(Side sender) {
+  Half& h = half(sender);
+  const bool low = unsent_bytes(sender) < config_.write_watermark;
+  if (low && !h.writable_low) {
+    h.writable_low = true;
+    if (callbacks_.on_writable) callbacks_.on_writable(sender);
+  } else if (!low) {
+    h.writable_low = false;
+  }
+}
+
+}  // namespace h2push::sim

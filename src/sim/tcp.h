@@ -1,0 +1,156 @@
+// TCP connection model.
+//
+// A bidirectional byte stream between a client and a server over two Routes
+// (uplink / downlink). The model is packet-granular Reno/NewReno:
+//   - 3-way handshake (1 RTT) followed by a configurable number of TLS
+//     round trips (2 by default, matching TLS 1.2 as deployed in 2018),
+//   - IW10 slow start, congestion avoidance, per-segment cumulative ACKs,
+//   - fast retransmit on 3 dup-ACKs with NewReno partial-ACK recovery,
+//   - RTO with Karn-style backoff.
+// The slow-start round structure is essential for the paper's results: it is
+// what creates the "network idle time" that Server Push can fill, and what
+// makes large HTML documents take multiple round trips (paper §4.3, s8).
+//
+// Applications see an ordered byte stream (on_receive) and a writability
+// signal (on_writable) that fires when fewer than `write_watermark` unsent
+// bytes remain buffered, so schedulers make frame-level decisions late —
+// exactly how h2o interacts with its socket buffers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/simulator.h"
+
+namespace h2push::sim {
+
+struct TcpConfig {
+  std::size_t mss = 1460;
+  std::size_t header_bytes = 40;     ///< TCP/IP header per packet
+  double initial_cwnd = 10.0;        ///< segments (RFC 6928)
+  double initial_ssthresh = 1e9;     ///< effectively "no limit"
+  Time rto_min = from_ms(200);
+  Time rto_initial = from_ms(1000);
+  int tls_round_trips = 2;           ///< 2 = TLS 1.2 full handshake
+  std::size_t tls_client_flight = 512;   ///< bytes (ClientHello/Finished)
+  std::size_t tls_server_flight = 4096;  ///< bytes (cert chain)
+  std::size_t write_watermark = 2 * 1460;
+};
+
+class TcpConnection {
+ public:
+  enum class Side { kClient, kServer };
+
+  struct Callbacks {
+    /// Fires on the client when the TCP+TLS handshake completes.
+    std::function<void()> on_connected;
+    /// Fires on the server half an RTT earlier (when its handshake ends).
+    std::function<void()> on_accepted;
+    /// In-order application bytes arriving at `side`.
+    std::function<void(Side side, std::span<const std::uint8_t>)> on_receive;
+    /// `side` may write again (unsent buffer below watermark).
+    std::function<void(Side side)> on_writable;
+  };
+
+  /// `up` carries client→server packets, `down` server→client.
+  TcpConnection(Simulator& sim, TcpConfig config, Route up, Route down,
+                Callbacks callbacks);
+
+  /// Begin the handshake. on_connected fires when the client may write.
+  void connect();
+
+  /// Queue application bytes for transmission from `side`.
+  void send(Side side, std::span<const std::uint8_t> data);
+
+  bool connected() const noexcept { return connected_; }
+  Time connect_end_time() const noexcept { return connect_end_time_; }
+
+  /// Unsent application bytes buffered on `side`.
+  std::size_t unsent_bytes(Side side) const noexcept;
+  bool writable(Side side) const noexcept;
+
+  /// Total application bytes delivered to `side` so far.
+  std::uint64_t bytes_delivered_to(Side side) const noexcept;
+
+  std::uint64_t retransmissions() const noexcept;
+  double cwnd_segments(Side sender) const noexcept;
+
+ private:
+  // One direction of application data flow.
+  struct Half {
+    Route data_route;   // carries data segments
+    Route ack_route;    // carries ACKs back to the sender
+    // --- sender state ---
+    std::vector<std::uint8_t> buffer;  // bytes [base_seq, app_end)
+    std::uint64_t base_seq = 0;
+    std::uint64_t snd_una = 0;
+    std::uint64_t snd_nxt = 0;
+    std::uint64_t app_end = 0;
+    double cwnd = 10.0;
+    double ssthresh = 1e9;
+    int dup_acks = 0;
+    bool in_recovery = false;
+    std::uint64_t recover = 0;
+    EventId rto_timer = kInvalidEvent;
+    Time rto = from_ms(1000);
+    Time srtt = 0;
+    Time rttvar = 0;
+    bool rtt_seeded = false;
+    std::uint64_t retransmissions = 0;
+    bool writable_low = true;  // below watermark (edge-triggered signal)
+    // RTT sampling (one outstanding sample, Karn's rule).
+    std::uint64_t sample_seq = 0;
+    Time sample_sent_at = -1;
+    // --- receiver state ---
+    std::uint64_t rcv_nxt = 0;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> ooo;
+    std::uint64_t delivered = 0;
+    std::uint64_t last_ack_sent = 0;
+  };
+
+  Half& half(Side sender) noexcept {
+    return sender == Side::kClient ? up_ : down_;
+  }
+  const Half& half(Side sender) const noexcept {
+    return sender == Side::kClient ? up_ : down_;
+  }
+  static Side receiver_of(Side sender) noexcept {
+    return sender == Side::kClient ? Side::kServer : Side::kClient;
+  }
+
+  void advance_handshake(int arrived_step);
+  void send_handshake_packet();
+  void try_send(Side sender);
+  void transmit_segment(Side sender, std::uint64_t seq, std::size_t len,
+                        bool is_retransmit);
+  void on_segment(Side sender, std::uint64_t seq,
+                  std::vector<std::uint8_t> payload);
+  void send_ack(Side data_sender);
+  void on_ack(Side sender, std::uint64_t ack);
+  void arm_rto(Side sender);
+  void on_rto(Side sender);
+  void maybe_signal_writable(Side sender);
+
+  Simulator& sim_;
+  TcpConfig config_;
+  Callbacks callbacks_;
+  Half up_;    // client → server
+  Half down_;  // server → client
+  bool connected_ = false;
+  Time connect_end_time_ = 0;
+
+  // Handshake state machine: steps alternate directions (SYN, SYN/ACK,
+  // then one client + one server flight per TLS round trip). Lost
+  // handshake packets are retransmitted with exponential backoff.
+  int handshake_step_ = -1;
+  int handshake_total_steps_ = 0;
+  EventId handshake_timer_ = kInvalidEvent;
+  Time handshake_rto_ = from_ms(1000);
+};
+
+}  // namespace h2push::sim

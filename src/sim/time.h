@@ -1,0 +1,25 @@
+// Simulated time: 64-bit signed nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace h2push::sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time from_ms(double ms) noexcept {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+constexpr double to_ms(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr Time from_seconds(double s) noexcept {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace h2push::sim

@@ -1,0 +1,77 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace h2push::stats {
+
+Cdf::Cdf(std::span<const double> samples) { add_all(samples); }
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  dirty_ = true;
+}
+
+void Cdf::add_all(std::span<const double> xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  dirty_ = true;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!dirty_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  dirty_ = false;
+}
+
+const std::vector<double>& Cdf::sorted() const {
+  ensure_sorted();
+  return sorted_;
+}
+
+double Cdf::fraction_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::value_at(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0) return sorted_.front();
+  if (p >= 1) return sorted_.back();
+  const double idx = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (points < 2 || samples_.empty()) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(value_at(p), p);
+  }
+  return out;
+}
+
+std::string Cdf::render(const std::string& label,
+                        const std::string& unit) const {
+  std::string out = "  CDF " + label + " (n=" + std::to_string(size()) + ")\n";
+  char buf[96];
+  for (int decile = 0; decile <= 10; ++decile) {
+    const double p = static_cast<double>(decile) / 10.0;
+    std::snprintf(buf, sizeof(buf), "    p%-3d %10.1f %s\n", decile * 10,
+                  value_at(p), unit.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace h2push::stats

@@ -1,0 +1,45 @@
+// Empirical CDFs: the paper reports almost every result as a CDF over sites
+// (Figs. 2, 3). Cdf collects samples and answers fraction-below queries and
+// renders fixed-width ASCII tables for the bench harnesses.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace h2push::stats {
+
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::span<const double> samples);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x, in [0,1].
+  double fraction_below(double x) const;
+
+  /// Value at cumulative probability p (inverse CDF).
+  double value_at(double p) const;
+
+  /// Evaluate at evenly spaced probabilities: {(value, p)} for plotting.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 21) const;
+
+  /// Render "p | value" rows, one per decile, for bench output.
+  std::string render(const std::string& label, const std::string& unit) const;
+
+  const std::vector<double>& sorted() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace h2push::stats

@@ -1,0 +1,50 @@
+// Descriptive statistics used by the experiment harnesses: mean, median,
+// standard error of the mean (Fig. 2a), and t-based confidence intervals
+// (Fig. 4 uses 95 %, Fig. 6 uses 99.5 %).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace h2push::stats {
+
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Standard error of the mean: stddev / sqrt(n).
+double std_error(std::span<const double> xs) noexcept;
+
+/// Median (interpolated for even n). Copies and sorts internally.
+double median(std::span<const double> xs);
+
+/// p-quantile in [0,1], linear interpolation between order statistics.
+double quantile(std::span<const double> xs, double p);
+
+/// Two-sided confidence interval half-width for the mean at the given
+/// confidence level (e.g. 0.95, 0.995), using the Student-t distribution.
+double ci_half_width(std::span<const double> xs, double confidence);
+
+/// Inverse CDF of Student's t with `dof` degrees of freedom at probability p
+/// (one-sided). Accurate to ~1e-6 via Cornish–Fisher style expansion on the
+/// normal quantile; exact enough for CI reporting.
+double student_t_quantile(double p, double dof);
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation).
+double normal_quantile(double p);
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+  double std_error = 0;
+  double min = 0;
+  double max = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace h2push::stats

@@ -1,0 +1,43 @@
+#include "stats/rank.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/descriptive.h"
+
+namespace h2push::stats {
+
+std::vector<std::uint32_t> aggregate_order(
+    std::span<const std::vector<std::uint32_t>> observations,
+    double min_support) {
+  std::map<std::uint32_t, std::vector<double>> ranks;
+  for (const auto& run : observations) {
+    for (std::size_t pos = 0; pos < run.size(); ++pos) {
+      ranks[run[pos]].push_back(static_cast<double>(pos));
+    }
+  }
+  const double needed =
+      min_support * static_cast<double>(observations.size());
+
+  struct Entry {
+    std::uint32_t id;
+    double median_rank;
+  };
+  std::vector<Entry> entries;
+  for (auto& [id, rs] : ranks) {
+    if (static_cast<double>(rs.size()) < needed) continue;  // weak support
+    entries.push_back({id, median(rs)});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.median_rank != b.median_rank)
+                       return a.median_rank < b.median_rank;
+                     return a.id < b.id;
+                   });
+  std::vector<std::uint32_t> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.id);
+  return out;
+}
+
+}  // namespace h2push::stats

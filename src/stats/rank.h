@@ -1,0 +1,22 @@
+// Rank aggregation for the paper's §4.2 "Computing the Push Order": request
+// orders observed across 31 runs are not stable (client-side processing), so
+// the paper uses a majority vote. We implement Borda-style aggregation on
+// median ranks, which is deterministic and matches "majority vote" behaviour
+// for the stable prefix while breaking ties by item id.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace h2push::stats {
+
+/// Each observation is an ordered list of item ids (0-based, not necessarily
+/// complete: an item may be missing from some runs, e.g. a dynamic resource).
+/// Returns the aggregated order over all items that appear in at least
+/// `min_support` fraction of the observations (default: strict majority).
+std::vector<std::uint32_t> aggregate_order(
+    std::span<const std::vector<std::uint32_t>> observations,
+    double min_support = 0.5);
+
+}  // namespace h2push::stats

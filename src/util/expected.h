@@ -1,0 +1,69 @@
+// Minimal Expected<T, E>: a C++20 stand-in for std::expected (C++23).
+//
+// Protocol parsing (HPACK, frame codec) uses Expected for recoverable
+// errors; exceptions are reserved for programming errors / misconfiguration.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace h2push::util {
+
+/// Wrapper marking a value as an error when constructing an Expected.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<E> make_unexpected(E e) {
+  return Unexpected<E>{std::move(e)};
+}
+
+template <typename T, typename E = std::string>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  template <typename E2>
+    requires std::is_constructible_v<E, E2&&>
+  Expected(Unexpected<E2> u)
+      : storage_(std::in_place_index<1>, E(std::move(u.error))) {}
+
+  bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return has_value() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace h2push::util

@@ -1,0 +1,7 @@
+#include "util/rng.h"
+
+// Header-only implementation; this translation unit exists so the library
+// has an archive member and the header is compiled standalone at least once.
+namespace h2push::util {
+static_assert(hash64("h2push") != 0, "hash64 must be usable at compile time");
+}  // namespace h2push::util

@@ -1,0 +1,114 @@
+#include "util/sha256.h"
+
+#include <cstring>
+
+namespace h2push::util {
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(std::string_view data) {
+  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+  // Padded message: data + 0x80 + zeros + 64-bit big-endian bit length.
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t padded_len = data.size() + 1;
+  while (padded_len % 64 != 56) ++padded_len;
+  padded_len += 8;
+
+  std::uint8_t block[64];
+  for (std::size_t offset = 0; offset < padded_len; offset += 64) {
+    // Materialize this 64-byte block.
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::size_t pos = offset + i;
+      if (pos < data.size()) {
+        block[i] = static_cast<std::uint8_t>(data[pos]);
+      } else if (pos == data.size()) {
+        block[i] = 0x80;
+      } else if (pos >= padded_len - 8) {
+        const int shift = static_cast<int>((padded_len - 1 - pos) * 8);
+        block[i] = static_cast<std::uint8_t>(bit_len >> shift);
+      } else {
+        block[i] = 0;
+      }
+    }
+
+    std::uint32_t w[64];
+    for (int t = 0; t < 16; ++t) {
+      w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+             (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+             static_cast<std::uint32_t>(block[t * 4 + 3]);
+    }
+    for (int t = 16; t < 64; ++t) {
+      const std::uint32_t s0 =
+          rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int t = 0; t < 64; ++t) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = hh + s1 + ch + kK[t] + w[t];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  std::array<std::uint8_t, 32> out;
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(h[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(h[i]);
+  }
+  return out;
+}
+
+std::uint64_t sha256_prefix64(std::string_view data) {
+  const auto digest = sha256(data);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | digest[i];
+  return out;
+}
+
+}  // namespace h2push::util

@@ -1,0 +1,18 @@
+// SHA-256 (FIPS 180-4). Needed by the cache-digest extension: the
+// draft-ietf-httpbis-cache-digest encoding hashes cached URLs with SHA-256
+// before Golomb-coding them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace h2push::util {
+
+std::array<std::uint8_t, 32> sha256(std::string_view data);
+
+/// First 8 bytes of the digest as a big-endian integer (the cache-digest
+/// draft truncates the hash to log2(N*P) bits; we truncate from this).
+std::uint64_t sha256_prefix64(std::string_view data);
+
+}  // namespace h2push::util

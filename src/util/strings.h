@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2push::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// ASCII lowercase copy (header names, hostnames).
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// printf-style human size, e.g. "236.0 KB".
+std::string human_bytes(double bytes);
+
+}  // namespace h2push::util

@@ -1,0 +1,297 @@
+#include "web/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2push::web {
+
+using http::ResourceType;
+using Placement = ResourcePlan::Placement;
+
+PopulationProfile PopulationProfile::top100() {
+  PopulationProfile p;
+  p.label = "top100";
+  // Popular sites: more objects, bigger HTML, heavy third-party share
+  // (52 % of sites end up with < 20 % pushable objects, §4.2).
+  p.objects_mu = 4.5;  // ≈ 90 objects median
+  p.objects_sigma = 0.45;
+  p.min_objects = 25;
+  p.max_objects = 380;
+  p.low_pushable_prob = 0.52;
+  p.single_origin_prob = 0.02;
+  p.mid_lo = 0.2;
+  p.mid_hi = 0.8;
+  p.html_mu = 11.0;  // ≈ 60 KB
+  p.html_sigma = 0.55;
+  p.inline_css_prob = 0.30;  // top sites already optimize
+  p.inline_js_prob = 0.35;
+  return p;
+}
+
+PopulationProfile PopulationProfile::random100() {
+  PopulationProfile p;
+  p.label = "random100";
+  p.low_pushable_prob = 0.24;
+  p.single_origin_prob = 0.15;
+  p.mid_lo = 0.25;
+  p.mid_hi = 1.0;
+  return p;
+}
+
+PagePlan generate_page(const PopulationProfile& profile,
+                       const std::string& name, std::uint64_t seed) {
+  util::Rng rng(seed ^ util::hash64(name) ^ util::hash64(profile.label));
+  PagePlan plan;
+  plan.name = name;
+  plan.primary_host = "www." + name + ".com";
+  plan.seed = seed;
+
+  const int n_objects = static_cast<int>(std::clamp<double>(
+      rng.lognormal(profile.objects_mu, profile.objects_sigma),
+      profile.min_objects, profile.max_objects));
+  plan.html_size = static_cast<std::size_t>(std::clamp<double>(
+      rng.lognormal(profile.html_mu, profile.html_sigma), 6e3, 400e3));
+  plan.text_blocks =
+      std::clamp(static_cast<int>(plan.html_size / 1400), 8, 120);
+  plan.above_fold_text_blocks = static_cast<int>(rng.uniform_int(2, 4));
+
+  // How pushable is this site?
+  double pushable_frac;
+  if (rng.bernoulli(profile.single_origin_prob)) {
+    pushable_frac = 1.0;
+  } else if (rng.bernoulli(profile.low_pushable_prob /
+                           (1.0 - profile.single_origin_prob))) {
+    pushable_frac = rng.uniform(0.03, 0.19);
+  } else {
+    pushable_frac = rng.uniform(profile.mid_lo, profile.mid_hi);
+  }
+
+  // Hosts: the primary, an optional co-hosted static subdomain, and a pool
+  // of third-party origins sized to the third-party object count.
+  const std::string primary_ip = "10.1.0.1";
+  plan.host_ip[plan.primary_host] = primary_ip;
+  const bool has_static_subdomain = rng.bernoulli(0.6);
+  const std::string static_host = "static." + name + ".com";
+  if (has_static_subdomain) plan.host_ip[static_host] = primary_ip;
+
+  const int n_third_party = static_cast<int>(
+      std::round(static_cast<double>(n_objects) * (1.0 - pushable_frac)));
+  int n_hosts = std::max(
+      1, static_cast<int>(std::round(
+             static_cast<double>(n_third_party) /
+             profile.objects_per_third_party_host)));
+  n_hosts = std::min(n_hosts, profile.max_hosts);
+  std::vector<std::string> third_hosts;
+  for (int h = 0; h < n_hosts; ++h) {
+    std::string host = "cdn" + std::to_string(h) + ".tp-" +
+                       std::to_string(rng.uniform_int(100, 999)) + ".net";
+    plan.host_ip[host] = "10.2." + std::to_string(h / 200) + "." +
+                         std::to_string(h % 200 + 1);
+    third_hosts.push_back(std::move(host));
+  }
+
+  if (rng.bernoulli(profile.inline_css_prob)) {
+    plan.inline_css_fraction = rng.uniform(0.05, 0.15);
+  }
+  if (rng.bernoulli(profile.inline_js_prob)) {
+    plan.inline_js_fraction = rng.uniform(0.1, 0.5);
+    plan.inline_js_exec_ms = rng.uniform(5, 60);
+  }
+
+  // Wild push configuration style (Fig. 2b populations).
+  enum class WildPush { kCssJs, kFirstN, kWithImages, kEverything };
+  WildPush wild_style = WildPush::kCssJs;
+  if (profile.mark_recorded_push) {
+    const double u = rng.next_double();
+    wild_style = u < 0.30   ? WildPush::kCssJs
+                 : u < 0.60 ? WildPush::kFirstN
+                 : u < 0.85 ? WildPush::kWithImages
+                            : WildPush::kEverything;
+  }
+  int wild_first_n = static_cast<int>(rng.uniform_int(2, 12));
+
+  std::vector<std::string> first_party_css_paths;
+  int object_index = 0;
+  int af_images = 0;
+  std::vector<std::string> sync_js_paths;
+
+  auto pick_host = [&](bool pushable) -> std::string {
+    if (pushable) {
+      if (has_static_subdomain && rng.bernoulli(0.5)) return static_host;
+      return plan.primary_host;
+    }
+    return third_hosts[rng.index(third_hosts.size())];
+  };
+
+  // CSS and JS first so fonts/xhr can attach to them.
+  for (int i = 0; i < n_objects; ++i) {
+    const double u = rng.next_double();
+    ResourceType type;
+    if (u < profile.frac_images) {
+      type = ResourceType::kImage;
+    } else if (u < profile.frac_images + profile.frac_js) {
+      type = ResourceType::kJs;
+    } else if (u < profile.frac_images + profile.frac_js + profile.frac_css) {
+      type = ResourceType::kCss;
+    } else if (u < profile.frac_images + profile.frac_js + profile.frac_css +
+                       profile.frac_fonts) {
+      type = ResourceType::kFont;
+    } else if (u < profile.frac_images + profile.frac_js + profile.frac_css +
+                       profile.frac_fonts + profile.frac_xhr) {
+      type = ResourceType::kXhr;
+    } else {
+      type = ResourceType::kOther;
+    }
+
+    const bool pushable = rng.next_double() < pushable_frac;
+    ResourcePlan r;
+    r.host = pick_host(pushable);
+    const int id = object_index++;
+
+    switch (type) {
+      case ResourceType::kCss: {
+        r.path = "/css/style" + std::to_string(id) + ".css";
+        r.type = type;
+        r.size = static_cast<std::size_t>(
+            std::clamp<double>(rng.lognormal(9.4, 0.8), 1500, 300e3));
+        r.placement =
+            rng.bernoulli(0.9) ? Placement::kHead : Placement::kBodyLate;
+        if (r.host == plan.primary_host || r.host == static_host) {
+          first_party_css_paths.push_back(r.path);
+        }
+        break;
+      }
+      case ResourceType::kJs: {
+        r.path = "/js/script" + std::to_string(id) + ".js";
+        r.type = type;
+        r.size = static_cast<std::size_t>(
+            std::clamp<double>(rng.lognormal(10.1, 0.9), 2e3, 700e3));
+        const double placement_u = rng.next_double();
+        if (placement_u < 0.35) {
+          r.placement = Placement::kHead;
+        } else if (placement_u < 0.65) {
+          r.placement = Placement::kBodyMiddle;
+        } else {
+          r.placement = rng.bernoulli(0.5) ? Placement::kBodyEarly
+                                           : Placement::kBodyLate;
+          r.async = true;
+        }
+        r.exec_cost_ms = rng.uniform(0, 1) < 0.15
+                             ? rng.uniform(30, 150)  // heavy script
+                             : 0;                    // default: size-based
+        if (!r.async) sync_js_paths.push_back(r.path);
+        break;
+      }
+      case ResourceType::kImage: {
+        r.path = "/img/i" + std::to_string(id) + ".jpg";
+        r.type = type;
+        r.size = static_cast<std::size_t>(
+            std::clamp<double>(rng.pareto(4e3, 1.2), 1e3, 900e3));
+        const double placement_u = rng.next_double();
+        if (placement_u < 0.18 && af_images < 4) {
+          r.placement = Placement::kBodyEarly;
+          r.above_fold = true;
+          r.display_width = static_cast<int>(rng.uniform_int(200, 900));
+          r.display_height = static_cast<int>(rng.uniform_int(100, 350));
+          ++af_images;
+        } else if (placement_u < 0.75) {
+          r.placement = Placement::kBodyMiddle;
+          r.display_height = static_cast<int>(rng.uniform_int(120, 400));
+        } else {
+          r.placement = Placement::kBodyLate;
+          r.display_height = static_cast<int>(rng.uniform_int(120, 400));
+        }
+        break;
+      }
+      case ResourceType::kFont: {
+        if (first_party_css_paths.empty() ||
+            !(r.host == plan.primary_host || r.host == static_host)) {
+          // Fonts only make sense behind a first-party stylesheet here;
+          // degrade to an image otherwise.
+          r.path = "/img/f" + std::to_string(id) + ".png";
+          r.type = ResourceType::kImage;
+          r.size = static_cast<std::size_t>(
+              std::clamp<double>(rng.pareto(4e3, 1.3), 1e3, 200e3));
+          r.placement = Placement::kBodyMiddle;
+          break;
+        }
+        r.path = "/fonts/f" + std::to_string(id) + ".woff2";
+        r.type = type;
+        r.size = static_cast<std::size_t>(
+            std::clamp<double>(rng.lognormal(10.1, 0.4), 8e3, 120e3));
+        r.placement = Placement::kFromCss;
+        r.css_parent =
+            first_party_css_paths[rng.index(first_party_css_paths.size())];
+        r.host = plan.primary_host;  // same host as its stylesheet family
+        r.font_family = "f" + std::to_string(id);
+        r.above_fold = rng.bernoulli(0.5);
+        break;
+      }
+      case ResourceType::kXhr:
+      case ResourceType::kOther:
+      default: {
+        r.path = "/api/data" + std::to_string(id) + ".json";
+        r.type = ResourceType::kXhr;
+        r.size = static_cast<std::size_t>(
+            std::clamp<double>(rng.lognormal(7.6, 0.9), 300, 80e3));
+        if (sync_js_paths.empty()) {
+          // No script to inject it: degrade to a late image beacon.
+          r.path = "/img/pixel" + std::to_string(id) + ".png";
+          r.type = ResourceType::kImage;
+          r.size = 1024;
+          r.placement = Placement::kBodyLate;
+        } else {
+          r.placement = Placement::kScriptInjected;
+          r.injector = sync_js_paths[rng.index(sync_js_paths.size())];
+        }
+        break;
+      }
+    }
+    plan.resources.push_back(std::move(r));
+  }
+
+  // Wild-deployment push markers (Fig. 2b).
+  if (profile.mark_recorded_push) {
+    int marked = 0;
+    for (auto& r : plan.resources) {
+      const bool on_primary_group =
+          r.host == plan.primary_host || r.host == static_host;
+      if (!on_primary_group) continue;
+      bool push = false;
+      switch (wild_style) {
+        case WildPush::kCssJs:
+          push = r.type == ResourceType::kCss || r.type == ResourceType::kJs;
+          break;
+        case WildPush::kFirstN:
+          push = marked < wild_first_n;
+          break;
+        case WildPush::kWithImages:
+          push = r.type == ResourceType::kCss ||
+                 r.type == ResourceType::kJs ||
+                 r.type == ResourceType::kImage;
+          break;
+        case WildPush::kEverything:
+          push = true;
+          break;
+      }
+      if (push) {
+        r.recorded_pushed = true;
+        ++marked;
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<Site> generate_population(const PopulationProfile& profile,
+                                      int count, std::uint64_t seed) {
+  std::vector<Site> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::string name = profile.label + "-" + std::to_string(i);
+    out.push_back(build_site(generate_page(profile, name, seed)));
+  }
+  return out;
+}
+
+}  // namespace h2push::web

@@ -1,0 +1,75 @@
+// Website population generator.
+//
+// The paper samples two disjoint 100-site sets from Alexa: one from the
+// top-500 ("top-100") and one from the full 1M ("random-100"), records them,
+// and replays them (§4.2). We cannot record the 2017 web, so we generate
+// structurally realistic populations instead, calibrated to:
+//   - the paper's §4.2 pushable-objects anchor (52 % of top-100 and 24 % of
+//     random-100 sites have < 20 % pushable objects — top sites lean harder
+//     on third-party ads/CDNs),
+//   - HTTP-Archive-era page composition (object counts, type mix ≈ half
+//     images, byte-weight distributions, multi-origin structure).
+// Everything else — discovery order, blocking behaviour, push dynamics —
+// emerges from the replayed structure, not from fitted constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "web/site.h"
+
+namespace h2push::web {
+
+struct PopulationProfile {
+  std::string label;
+
+  // Object count: lognormal, clamped.
+  double objects_mu = 3.7;     // exp(3.7) ≈ 40 objects median
+  double objects_sigma = 0.5;
+  int min_objects = 8;
+  int max_objects = 320;
+
+  // Fraction of objects hosted on the primary coalescing group. Mixture:
+  // with `low_pushable_prob` the site is ad/CDN-heavy (U[0.03,0.2]),
+  // otherwise U[mid_lo, mid_hi]; `single_origin_prob` sites serve
+  // everything first-party.
+  double low_pushable_prob = 0.24;
+  double single_origin_prob = 0.10;
+  double mid_lo = 0.2;
+  double mid_hi = 0.95;
+
+  // HTML size: lognormal bytes.
+  double html_mu = 10.3;  // exp(10.3) ≈ 30 KB
+  double html_sigma = 0.6;
+
+  // Type mix (cumulative over images/js/css/fonts/xhr; rest = other).
+  double frac_images = 0.50;
+  double frac_js = 0.22;
+  double frac_css = 0.07;
+  double frac_fonts = 0.04;
+  double frac_xhr = 0.10;
+
+  double inline_css_prob = 0.15;  // sites that inline (critical) CSS
+  double inline_js_prob = 0.25;   // sites with significant inlined JS
+  /// Mark a wild-deployment push configuration on the site (Fig. 2b
+  /// replays "the same objects as in the Internet").
+  bool mark_recorded_push = false;
+  /// Average number of objects per third-party host.
+  double objects_per_third_party_host = 5.0;
+  int max_hosts = 81;  // the paper's w17 peaks at 81 servers
+
+  static PopulationProfile top100();
+  static PopulationProfile random100();
+};
+
+/// Generate one site plan; deterministic in (profile, name, seed).
+PagePlan generate_page(const PopulationProfile& profile,
+                       const std::string& name, std::uint64_t seed);
+
+/// Generate and build `count` sites named "<label>-<k>".
+std::vector<Site> generate_population(const PopulationProfile& profile,
+                                      int count, std::uint64_t seed);
+
+}  // namespace h2push::web

@@ -1,0 +1,556 @@
+#include "web/profiles.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace h2push::web {
+namespace {
+
+using http::ResourceType;
+using Placement = ResourcePlan::Placement;
+
+/// Terse plan assembly helpers.
+struct PlanBuilder {
+  PagePlan plan;
+  int next_id = 0;
+
+  explicit PlanBuilder(std::string name, std::string host,
+                       std::size_t html_kb) {
+    plan.name = std::move(name);
+    plan.primary_host = std::move(host);
+    plan.resources.reserve(1024);  // helpers mutate back(); avoid realloc
+    plan.html_size = html_kb * 1024;
+    plan.text_blocks =
+        std::clamp(static_cast<int>(plan.html_size / 1400), 8, 160);
+    plan.above_fold_text_blocks = 5;
+    plan.host_ip[plan.primary_host] = "10.1.0.1";
+    plan.seed = util::hash64(plan.primary_host);
+  }
+
+  std::string host_or_primary(const std::string& host) {
+    return host.empty() ? plan.primary_host : host;
+  }
+
+  /// Declare a third-party origin (own IP) or co-host (primary IP).
+  void origin(const std::string& host, bool cohosted = false) {
+    if (cohosted) {
+      plan.host_ip[host] = "10.1.0.1";
+    } else {
+      plan.host_ip[host] =
+          "10.3.0." + std::to_string(plan.host_ip.size() % 250 + 1);
+    }
+  }
+
+  ResourcePlan& add(ResourceType type, std::size_t kb, Placement placement,
+                    const std::string& host = "") {
+    ResourcePlan r;
+    const int id = next_id++;
+    switch (type) {
+      case ResourceType::kCss: r.path = "/css/s" + std::to_string(id) + ".css"; break;
+      case ResourceType::kJs: r.path = "/js/s" + std::to_string(id) + ".js"; break;
+      case ResourceType::kImage: r.path = "/img/s" + std::to_string(id) + ".jpg"; break;
+      case ResourceType::kFont: r.path = "/fonts/s" + std::to_string(id) + ".woff2"; break;
+      default: r.path = "/data/s" + std::to_string(id) + ".json"; break;
+    }
+    r.host = host_or_primary(host);
+    r.type = type;
+    r.size = kb * 1024;
+    r.placement = placement;
+    plan.resources.push_back(std::move(r));
+    return plan.resources.back();
+  }
+
+  ResourcePlan& css_head(std::size_t kb, const std::string& host = "") {
+    return add(ResourceType::kCss, kb, Placement::kHead, host);
+  }
+  ResourcePlan& js_head(std::size_t kb, double exec_ms = 0,
+                        const std::string& host = "") {
+    auto& r = add(ResourceType::kJs, kb, Placement::kHead, host);
+    r.exec_cost_ms = exec_ms;
+    return r;
+  }
+  ResourcePlan& js_body(std::size_t kb, Placement where, double exec_ms = 0,
+                        bool async = false, const std::string& host = "") {
+    auto& r = add(ResourceType::kJs, kb, where, host);
+    r.exec_cost_ms = exec_ms;
+    r.async = async;
+    return r;
+  }
+  ResourcePlan& font(std::size_t kb, std::string css_path,
+                     const std::string& family, bool above_fold = true) {
+    auto& r = add(ResourceType::kFont, kb, Placement::kFromCss);
+    r.css_parent = std::move(css_path);
+    r.font_family = family;
+    r.above_fold = above_fold;
+    return r;
+  }
+  ResourcePlan& hero_image(std::size_t kb, int w = 620, int h = 240,
+                           const std::string& host = "") {
+    auto& r = add(ResourceType::kImage, kb, Placement::kBodyEarly, host);
+    r.above_fold = true;
+    r.display_width = w;
+    r.display_height = h;
+    return r;
+  }
+  void images(int count, std::size_t kb_each, Placement where,
+              const std::string& host = "") {
+    for (int i = 0; i < count; ++i) {
+      auto& r = add(ResourceType::kImage, kb_each, where, host);
+      r.display_height = 240;
+    }
+  }
+  /// Above-the-fold third-party content (ad banner / widget): its host is
+  /// NOT unified with the primary origin, so no strategy can push it — it
+  /// caps the achievable SpeedIndex gain (the paper's w17 dilution effect).
+  void third_party_af_image(const std::string& host, std::size_t kb,
+                            int w = 728, int h = 90, double extra_rtt = 200) {
+    origin(host);
+    plan.host_rtt_extra_ms[host] = extra_rtt;
+    auto& r = add(ResourceType::kImage, kb, Placement::kBodyEarly, host);
+    r.above_fold = true;
+    r.display_width = w;
+    r.display_height = h;
+  }
+  void inline_js(double fraction, double exec_ms) {
+    plan.inline_js_fraction = fraction;
+    plan.inline_js_exec_ms = exec_ms;
+  }
+  void inline_css(double fraction) { plan.inline_css_fraction = fraction; }
+  /// Keep <head> stylesheets render-blocking even with inline CSS (w16:
+  /// the CSS is "made dependent on the HTML" despite inlined styles).
+  void keep_blocking_css() { defer_full_css_ = false; }
+  bool defer_full_css_ = true;
+
+  Site build() {
+    // Sites that inline critical CSS follow the standard 2018 recipe: the
+    // full stylesheets are deferred to the end of <body> (loadCSS pattern),
+    // so first paint never waits for them. This is the paper's explanation
+    // for why interleaving push cannot help already-optimized sites.
+    if (plan.inline_css_fraction > 0 && defer_full_css_) {
+      for (auto& r : plan.resources) {
+        if (r.type == ResourceType::kCss &&
+            r.placement == Placement::kHead) {
+          r.placement = Placement::kBodyLate;
+        }
+      }
+      // The same optimization recipe preloads web fonts so they do not
+      // hide behind the deferred stylesheets.
+      plan.preload_fonts = true;
+    }
+    return build_site(plan);
+  }
+};
+
+}  // namespace
+
+Site make_synthetic_site(int index) {
+  assert(index >= 1 && index <= 10);
+  switch (index) {
+    case 1: {
+      // s1: a loading icon fades once the DOM is ready; content depends on
+      // blocking JS + CSS and on fonts hidden inside the CSS. Push-all
+      // moves ~1 MB; the custom strategy needs only ~300 KB (§4.3).
+      PlanBuilder b("s1", "s1.synthetic.test", 48);
+      const std::string css_path = b.css_head(90).path;
+      b.js_head(140, 40);
+      b.font(40, css_path, "brand", true);
+      b.font(39, css_path, "icons", true);
+      b.hero_image(120);
+      b.images(10, 62, Placement::kBodyMiddle);  // bulk below the fold
+      return b.build();
+    }
+    case 2: {
+      // s2: blog template — modest CSS/JS, a hero, medium images.
+      PlanBuilder b("s2", "s2.synthetic.test", 36);
+      const std::string css_path = b.css_head(45).path;
+      b.js_body(60, Placement::kBodyLate, 0, true);
+      b.font(28, css_path, "serif", true);
+      b.hero_image(90);
+      b.images(6, 35, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 3: {
+      // s3: image gallery — dozens of images, light render path.
+      PlanBuilder b("s3", "s3.synthetic.test", 24);
+      b.css_head(18);
+      b.hero_image(150, 1100, 400);
+      b.images(24, 48, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 4: {
+      // s4: shop template — CSS + several sync scripts + product images.
+      PlanBuilder b("s4", "s4.synthetic.test", 64);
+      b.css_head(70);
+      b.js_head(90, 25);
+      b.js_body(55, Placement::kBodyMiddle, 15);
+      b.hero_image(80);
+      b.images(12, 30, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 5: {
+      // s5: computation-bound — a blocking JS referenced late in a large
+      // <body> must wait for the CSSOM; the browser, not the network, is
+      // the bottleneck, so push cannot help (§4.3).
+      PlanBuilder b("s5", "s5.synthetic.test", 170);
+      b.css_head(60);
+      b.js_body(110, Placement::kBodyLate, 260);  // heavy execution
+      b.hero_image(70);
+      b.images(6, 40, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 6: {
+      // s6: small landing page.
+      PlanBuilder b("s6", "s6.synthetic.test", 14);
+      b.css_head(20);
+      b.hero_image(60);
+      b.images(3, 25, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 7: {
+      // s7: documentation — text heavy, tiny render path.
+      PlanBuilder b("s7", "s7.synthetic.test", 120);
+      const std::string css_path = b.css_head(25).path;
+      b.font(30, css_path, "mono", true);
+      b.images(2, 15, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 8: {
+      // s8: large HTML needing multiple round trips; six render-critical
+      // resources referenced early — the preload scanner fires after the
+      // first chunk, so push gains nothing (§4.3).
+      PlanBuilder b("s8", "s8.synthetic.test", 96);
+      b.css_head(35);
+      b.css_head(28);
+      b.js_head(60, 20);
+      b.js_head(45, 15);
+      b.css_head(22);
+      b.js_head(30, 10);
+      b.hero_image(85);
+      b.images(8, 33, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 9: {
+      // s9: app shell with inlined critical CSS and async scripts.
+      PlanBuilder b("s9", "s9.synthetic.test", 30);
+      b.inline_css(0.20);
+      b.js_body(120, Placement::kBodyEarly, 35, /*async=*/true);
+      b.hero_image(75);
+      b.images(5, 28, Placement::kBodyMiddle);
+      return b.build();
+    }
+    case 10: {
+      // s10: news template — mixed everything.
+      PlanBuilder b("s10", "s10.synthetic.test", 110);
+      const std::string css_path = b.css_head(55).path;
+      b.js_head(75, 30);
+      b.font(32, css_path, "headline", true);
+      b.hero_image(95);
+      b.images(14, 38, Placement::kBodyMiddle);
+      b.js_body(40, Placement::kBodyLate, 0, true);
+      return b.build();
+    }
+  }
+  return build_site(PagePlan{});
+}
+
+std::vector<Site> synthetic_sites() {
+  std::vector<Site> out;
+  for (int i = 1; i <= 10; ++i) out.push_back(make_synthetic_site(i));
+  return out;
+}
+
+namespace {
+
+NamedSite named(const std::string& label, const std::string& domain,
+                Site site) {
+  return NamedSite{label, domain, std::move(site)};
+}
+
+void add_third_party_tail(PlanBuilder& b, int hosts, int objects,
+                          std::size_t kb_each) {
+  // Ads/analytics/social tail spread across third-party origins.
+  for (int h = 0; h < hosts; ++h) {
+    b.origin("tp" + std::to_string(h) + "." + b.plan.name + "-ads.net");
+  }
+  util::Rng rng(b.plan.seed ^ 0x7031);
+  for (int i = 0; i < objects; ++i) {
+    const std::string host =
+        "tp" + std::to_string(rng.uniform_int(0, hosts - 1)) + "." +
+        b.plan.name + "-ads.net";
+    const double u = rng.next_double();
+    if (u < 0.55) {
+      auto& r = b.add(ResourceType::kImage, kb_each, Placement::kBodyMiddle,
+                      host);
+      r.display_height = 200;
+    } else if (u < 0.85) {
+      b.js_body(kb_each, Placement::kBodyLate, 5, /*async=*/true, host);
+    } else {
+      b.add(ResourceType::kCss, kb_each / 2 + 1, Placement::kBodyLate, host);
+    }
+  }
+}
+
+}  // namespace
+
+NamedSite make_w_site(int index) {
+  assert(index >= 1 && index <= 20);
+  switch (index) {
+    case 1: {
+      // w1 wikipedia (article): 236 KB compressed HTML; the CSS becomes a
+      // child of the HTML stream, so no-push ships the entire HTML first.
+      // Interleaving pushes critical CSS after ~4 KB (§5: −68.85 % SI with
+      // 78 KB pushed vs 1123 KB for push-all-optimized).
+      PlanBuilder b("w1", "www.wikipedia.org", 236);
+      const std::string css_path = b.css_head(60).path;
+      b.css_head(45);
+      b.js_body(70, Placement::kBodyLate, 30, true);
+      b.font(35, css_path, "linux-libertine", true);
+      b.hero_image(45, 300, 220);
+      b.images(14, 62, Placement::kBodyMiddle);  // article figures
+      return named("w1", "wikipedia", b.build());
+    }
+    case 2: {
+      // w2 apple: several CSS requested after the HTML block JS execution
+      // and DOM construction; critical CSS + push ⇒ −29.7 % with 290 KB
+      // instead of 726 KB.
+      PlanBuilder b("w2", "www.apple.com", 55);
+      b.css_head(120);
+      b.css_head(95);
+      b.css_head(80);
+      b.js_head(150, 45);
+      b.hero_image(160, 1200, 420);
+      b.images(8, 35, Placement::kBodyMiddle);
+      add_third_party_tail(b, 3, 6, 18);
+      return named("w2", "apple", b.build());
+    }
+    case 3: {
+      PlanBuilder b("w3", "www.yahoo.com", 140);
+      b.inline_css(0.12);
+      b.css_head(85);
+      b.js_head(190, 120);
+      b.third_party_af_image("ads.yimg-style.net", 90);
+      b.inline_js(0.15, 25);
+      b.hero_image(70);
+      b.images(18, 28, Placement::kBodyMiddle);
+      add_third_party_tail(b, 12, 40, 22);
+      return named("w3", "yahoo", b.build());
+    }
+    case 4: {
+      PlanBuilder b("w4", "www.amazon.com", 180);
+      b.inline_css(0.15);
+      b.css_head(95);
+      b.third_party_af_image("ads.amazon-adsys.net", 110, 970, 250);
+      b.inline_js(0.25, 45);
+      b.js_body(120, Placement::kBodyMiddle, 40);
+      b.hero_image(90);
+      b.images(30, 25, Placement::kBodyMiddle);
+      add_third_party_tail(b, 6, 15, 15);
+      return named("w4", "amazon", b.build());
+    }
+    case 5: {
+      // w5 craigslist: 8 requests served by one server (§5).
+      PlanBuilder b("w5", "www.craigslist.org", 40);
+      b.inline_css(0.10);
+      b.css_head(9);
+      b.js_head(12, 10);
+      b.images(5, 8, Placement::kBodyMiddle);
+      return named("w5", "craigslist", b.build());
+    }
+    case 6: {
+      PlanBuilder b("w6", "www.chase.com", 70);
+      b.inline_css(0.12);
+      b.css_head(110);
+      b.js_head(160, 140);
+      b.third_party_af_image("static.chasecdn-3p.net", 130, 1000, 300);
+      b.hero_image(85);
+      b.images(6, 30, Placement::kBodyMiddle);
+      add_third_party_tail(b, 4, 10, 20);
+      return named("w6", "chase", b.build());
+    }
+    case 7: {
+      // w7 reddit: a large blocking JS in the <head> dominates the render
+      // path; removing 87 KB of CSS from the CRP does not move the SI.
+      PlanBuilder b("w7", "www.reddit.com", 95);
+      b.inline_css(0.10);
+      b.css_head(87);
+      b.js_head(420, 420);  // the large blocking script
+      b.hero_image(40, 600, 200);
+      b.images(20, 30, Placement::kBodyMiddle);
+      add_third_party_tail(b, 8, 18, 16);
+      return named("w7", "reddit", b.build());
+    }
+    case 8: {
+      // w8 bestbuy: similar pathology to w7 (§5).
+      PlanBuilder b("w8", "www.bestbuy.com", 120);
+      b.inline_css(0.10);
+      b.origin("img.bbystatic.com", /*cohosted=*/true);
+      b.css_head(100);
+      b.js_head(360, 380);
+      b.hero_image(95, 900, 300, "img.bbystatic.com");
+      b.images(22, 28, Placement::kBodyMiddle, "img.bbystatic.com");
+      add_third_party_tail(b, 7, 16, 18);
+      return named("w8", "bestbuy", b.build());
+    }
+    case 9: {
+      // w9 paypal: no blocking code until the end of the HTML; benefits
+      // from pushing all resources (§5).
+      PlanBuilder b("w9", "www.paypal.com", 60);
+      b.inline_css(0.14);
+      b.css_head(75);
+      b.third_party_af_image("badges.verisign-like.net", 25, 120, 60);
+      b.js_body(140, Placement::kBodyLate, 45);
+      b.hero_image(110);
+      b.images(7, 32, Placement::kBodyMiddle);
+      add_third_party_tail(b, 3, 6, 14);
+      return named("w9", "paypal", b.build());
+    }
+    case 10: {
+      // w10 walmart: lots of images cause bandwidth contention with push
+      // streams; a large portion of JS is inlined, so interleaving has
+      // little to switch away from (§5).
+      PlanBuilder b("w10", "www.walmart.com", 150);
+      b.inline_css(0.10);  // retailer-standard inlined critical styles
+      b.inline_js(0.45, 160);
+      b.css_head(90);
+      b.hero_image(120);
+      b.third_party_af_image("ads.wmt-media.net", 95, 970, 250);
+      for (int k = 0; k < 4; ++k) b.hero_image(55, 240, 180);
+      b.images(45, 38, Placement::kBodyMiddle);
+      b.images(15, 30, Placement::kBodyLate);
+      add_third_party_tail(b, 9, 20, 20);
+      return named("w10", "walmart", b.build());
+    }
+    case 11: {
+      PlanBuilder b("w11", "www.aliexpress.com", 130);
+      b.inline_css(0.12);
+      b.css_head(105);
+      b.js_head(200, 180);
+      b.hero_image(100);
+      b.third_party_af_image("ae-ads.alicdn-3p.net", 85);
+      b.images(35, 26, Placement::kBodyMiddle);
+      add_third_party_tail(b, 10, 24, 18);
+      return named("w11", "aliexpress", b.build());
+    }
+    case 12: {
+      PlanBuilder b("w12", "www.ebay.com", 110);
+      b.inline_css(0.12);
+      b.css_head(80);
+      b.js_head(170, 160);
+      b.hero_image(95);
+      b.third_party_af_image("ads.ebay-adsvc.net", 90, 970, 250);
+      b.images(28, 30, Placement::kBodyMiddle);
+      add_third_party_tail(b, 8, 18, 16);
+      return named("w12", "ebay", b.build());
+    }
+    case 13: {
+      PlanBuilder b("w13", "www.yelp.com", 125);
+      b.inline_css(0.10);
+      const std::string css_path = b.css_head(115).path;
+      b.js_head(230, 80);
+      b.font(45, css_path, "helvetica-like", true);
+      b.hero_image(105);
+      b.images(16, 34, Placement::kBodyMiddle);
+      add_third_party_tail(b, 11, 26, 17);
+      return named("w13", "yelp", b.build());
+    }
+    case 14: {
+      PlanBuilder b("w14", "www.youtube.com", 160);
+      b.inline_css(0.15);
+      b.css_head(70);
+      b.js_head(380, 420);
+      b.inline_js(0.2, 40);
+      b.images(30, 22, Placement::kBodyMiddle);  // thumbnails
+      add_third_party_tail(b, 5, 10, 15);
+      return named("w14", "youtube", b.build());
+    }
+    case 15: {
+      PlanBuilder b("w15", "www.microsoft.com", 75);
+      b.inline_css(0.12);
+      const std::string css_path = b.css_head(90).path;
+      b.js_body(110, Placement::kBodyMiddle, 35);
+      b.third_party_af_image("stats.ms-telemetry.net", 40, 400, 120);
+      b.font(38, css_path, "segoe", true);
+      b.hero_image(125);
+      b.images(9, 36, Placement::kBodyMiddle);
+      add_third_party_tail(b, 4, 8, 16);
+      return named("w15", "microsoft", b.build());
+    }
+    case 16: {
+      // w16 twitter (profile): already optimized (critical CSS inlined),
+      // 45 KB compressed HTML, CSS made dependent on the HTML; pushing
+      // 10 KB of critical resources after ~12 KB still gains ~20 % (§5).
+      PlanBuilder b("w16", "twitter.com", 45);
+      b.inline_css(0.18);
+      b.keep_blocking_css();
+      const std::string css_path = b.css_head(55).path;
+      b.font(10, css_path, "chirp", true);
+      b.js_body(160, Placement::kBodyLate, 60, true);
+      b.hero_image(35, 400, 180);
+      b.images(12, 24, Placement::kBodyMiddle);
+      add_third_party_tail(b, 2, 4, 12);
+      return named("w16", "twitter", b.build());
+    }
+    case 17: {
+      // w17 cnn: 369 requests to 81 servers — structural complexity
+      // dilutes interleaving push (§5).
+      PlanBuilder b("w17", "www.cnn.com", 170);
+      b.inline_css(0.10);
+      const std::string css_path = b.css_head(95).path;
+      b.js_body(260, Placement::kBodyEarly, 420);
+      b.font(40, css_path, "cnn-sans", true);
+      b.hero_image(110);
+      b.third_party_af_image("ads.cnn-turner.net", 140, 970, 250, 350);
+      b.third_party_af_image("live.cnn-video-3p.net", 90, 640, 360, 250);
+      b.third_party_af_image("social.cnn-widgets.net", 70, 300, 250, 300);
+      b.third_party_af_image("weather.cnn-partner.net", 55, 300, 180, 200);
+      b.images(40, 28, Placement::kBodyMiddle);
+      b.js_body(60, Placement::kBodyMiddle, 20);
+      add_third_party_tail(b, 78, 260, 14);
+      return named("w17", "cnn", b.build());
+    }
+    case 18: {
+      PlanBuilder b("w18", "www.wellsfargo.com", 65);
+      b.inline_css(0.14);
+      b.css_head(85);
+      b.js_head(140, 50);
+      b.hero_image(90);
+      b.images(5, 28, Placement::kBodyMiddle);
+      add_third_party_tail(b, 3, 6, 14);
+      return named("w18", "wellsfargo", b.build());
+    }
+    case 19: {
+      PlanBuilder b("w19", "www.bankofamerica.com", 80);
+      b.inline_css(0.14);
+      b.css_head(100);
+      b.js_head(170, 150);
+      b.third_party_af_image("secure.bac-sitecatalyst.net", 60, 600, 180);
+      b.hero_image(95);
+      b.images(6, 30, Placement::kBodyMiddle);
+      add_third_party_tail(b, 4, 8, 15);
+      return named("w19", "bankofamerica", b.build());
+    }
+    case 20: {
+      PlanBuilder b("w20", "www.nytimes.com", 145);
+      b.inline_css(0.10);
+      const std::string css_path = b.css_head(110).path;
+      b.js_head(240, 200);
+      b.font(48, css_path, "cheltenham", true);
+      b.hero_image(115);
+      b.third_party_af_image("ads.nyt-doubleclick.net", 120, 970, 250);
+      b.images(24, 36, Placement::kBodyMiddle);
+      add_third_party_tail(b, 14, 36, 18);
+      return named("w20", "nytimes", b.build());
+    }
+  }
+  return named("w0", "invalid", build_site(PagePlan{}));
+}
+
+std::vector<NamedSite> w_sites() {
+  std::vector<NamedSite> out;
+  for (int i = 1; i <= 20; ++i) out.push_back(make_w_site(i));
+  return out;
+}
+
+}  // namespace h2push::web

@@ -1,0 +1,42 @@
+// Named site profiles.
+//
+// s1–s10 (paper §4.3): synthetic single-deployment websites — snapshots of
+// sites or templates relocated onto one server.
+// w1–w20 (paper Tab. 1 / §5): structural models of the twenty .com landing
+// pages used for the interleaving-push evaluation, built from the paper's
+// per-site descriptions (HTML sizes, blocking structure, inlining, origin
+// counts, push payload magnitudes). These are models, not recordings: the
+// goal is that each site reproduces the paper's *reason* for its result
+// (w1: huge HTML + late CSS dependency → interleaving wins; w7: large
+// blocking head JS → no gain; w10: image-heavy + inlined JS → push hurts;
+// w17: 369 requests across 81 servers → effects dilute; …).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "web/site.h"
+
+namespace h2push::web {
+
+/// Synthetic site s1..s10 (index 1-based), deployed on a single server.
+Site make_synthetic_site(int index);
+
+/// All ten synthetic sites.
+std::vector<Site> synthetic_sites();
+
+struct NamedSite {
+  std::string label;   // "w1".."w20"
+  std::string domain;  // "wikipedia", ... (Tab. 1)
+  Site site;           // already unified (same-infrastructure hosts merged)
+};
+
+/// Real-world-model site w1..w20 (index 1-based). The returned site already
+/// has same-infrastructure domains unified onto the primary IP and critical
+/// above-the-fold resources hosted there, as §5 prepares them.
+NamedSite make_w_site(int index);
+
+/// All twenty Tab.-1 sites.
+std::vector<NamedSite> w_sites();
+
+}  // namespace h2push::web

@@ -1,0 +1,105 @@
+// Website model.
+//
+// A PagePlan is the structural ground truth of a website: which resources
+// exist, where they live (hosts/IPs), where the HTML references them, and
+// their render semantics. build_site() synthesizes real HTML/CSS bytes from
+// the plan and packages them as a replayable Site (record store + origin
+// map) — the equivalent of the paper's recorded Mahimahi database. The
+// browser model only ever sees the synthesized bytes; the plan is retained
+// for strategy computation and test assertions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+#include "replay/origin.h"
+#include "replay/record.h"
+
+namespace h2push::web {
+
+struct ResourcePlan {
+  /// Where the HTML (or CSS/JS) references this resource.
+  enum class Placement : std::uint8_t {
+    kHead,            // <head>: render-blocking CSS / sync JS / preload
+    kBodyEarly,       // first ~15 % of the body
+    kBodyMiddle,      // middle of the body
+    kBodyLate,        // last ~15 % of the body
+    kFromCss,         // url()/@font-face inside `css_parent` (hidden)
+    kScriptInjected,  // fetched when `injector` executes (hidden)
+  };
+
+  std::string path;  // URL path, e.g. "/static/main.css"
+  std::string host;
+  http::ResourceType type = http::ResourceType::kOther;
+  std::size_t size = 0;  // body bytes
+  Placement placement = Placement::kHead;
+  bool async = false;        // scripts: async/defer (non-blocking)
+  bool above_fold = false;   // images/fonts contributing to first viewport
+  int display_width = 600;   // images: layout size
+  int display_height = 200;
+  std::string css_parent;   // kFromCss: path of the referencing stylesheet
+  std::string injector;     // kScriptInjected: path of the loading script
+  std::string font_family;  // fonts: family name used by text rules
+  double exec_cost_ms = 0;  // scripts: extra main-thread time when executed
+  bool recorded_pushed = false;  // the live deployment pushed this (Fig 2b)
+
+  std::string url(const std::string& scheme = "https") const {
+    return scheme + "://" + host + path;
+  }
+};
+
+struct PagePlan {
+  std::string name;
+  std::string primary_host;
+  std::size_t html_size = 30 * 1024;  // target HTML bytes
+  /// Inline <script> / <style> content as a fraction of html_size
+  /// (w10-style inlined JS; w16-style inlined critical CSS).
+  double inline_js_fraction = 0.0;
+  double inline_css_fraction = 0.0;
+  double inline_js_exec_ms = 0.0;  // execution cost of the inline JS
+  int text_blocks = 24;            // paragraphs spread through the body
+  /// Number of above-fold text paragraphs (before the fold line).
+  int above_fold_text_blocks = 5;
+  std::vector<ResourcePlan> resources;
+  /// host → synthetic IP; hosts sharing an IP are coalescable/pushable once
+  /// the testbed generates SAN certificates (paper §4.1).
+  std::map<std::string, std::string> host_ip;
+  /// Extra effective RTT per host in ms (ad networks run auctions and
+  /// redirect chains; their content lands hundreds of ms later than a
+  /// plain static fetch would).
+  std::map<std::string, double> host_rtt_extra_ms;
+  /// Emit <link rel="preload" as="font"> for every font resource —
+  /// standard practice on sites that defer their full stylesheets.
+  bool preload_fonts = false;
+  std::uint64_t seed = 1;  // filler-content determinism
+};
+
+struct Site {
+  std::string name;
+  http::Url main_url;
+  std::shared_ptr<replay::RecordStore> store;
+  replay::OriginMap origins;
+  PagePlan plan;
+
+  const replay::RecordedExchange* find(const http::Url& url) const {
+    return store->find(url.host, url.path);
+  }
+};
+
+/// Synthesize the HTML/CSS bytes and build the replayable site.
+/// `body_overrides` replaces generated bodies by absolute URL (used by the
+/// critical-CSS transform to install extracted stylesheet text).
+Site build_site(PagePlan plan,
+                const std::map<std::string, std::string>& body_overrides = {});
+
+/// URLs of every subresource (not the HTML), in plan order.
+std::vector<std::string> resource_urls(const Site& site);
+
+/// URLs the primary server may push (host coalesces with the primary).
+std::vector<std::string> pushable_urls(const Site& site);
+
+}  // namespace h2push::web

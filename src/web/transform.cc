@@ -1,0 +1,65 @@
+#include "web/transform.h"
+
+#include <algorithm>
+
+namespace h2push::web {
+
+Site relocate_single_server(const Site& site) {
+  PagePlan plan = site.plan;
+  int host_index = 0;
+  std::map<std::string, std::string> prefix;  // old host → path prefix
+  auto prefix_for = [&](const std::string& host) -> const std::string& {
+    auto [it, inserted] =
+        prefix.try_emplace(host, "/x" + std::to_string(host_index));
+    if (inserted) ++host_index;
+    return it->second;
+  };
+  for (auto& r : plan.resources) {
+    if (r.host == plan.primary_host) continue;
+    const std::string& pfx = prefix_for(r.host);
+    r.path = pfx + r.path;
+    // css_parent / injector store the parent's path; generated plans keep
+    // kFromCss/kScriptInjected children on the parent's host, so the
+    // parent's path gains the same prefix.
+    if (!r.css_parent.empty()) r.css_parent = pfx + r.css_parent;
+    if (!r.injector.empty()) r.injector = pfx + r.injector;
+    r.host = plan.primary_host;
+  }
+  plan.host_ip.clear();
+  plan.host_ip[plan.primary_host] = "10.0.0.1";
+  return build_site(std::move(plan));
+}
+
+Site unify_domains(const Site& site, const std::vector<std::string>& hosts) {
+  PagePlan plan = site.plan;
+  const std::string primary_ip = "10.0.0.1";
+  plan.host_ip[plan.primary_host] = primary_ip;
+  for (const auto& host : hosts) plan.host_ip[host] = primary_ip;
+  return build_site(std::move(plan));
+}
+
+Site mutate_dynamic(const Site& site, double prob, util::Rng& rng) {
+  if (prob <= 0) return site;
+  PagePlan plan = site.plan;
+  bool changed = false;
+  int swap_counter = 0;
+  for (auto& r : plan.resources) {
+    if (r.host == plan.primary_host) continue;  // first-party is stable
+    if (!rng.bernoulli(prob)) continue;
+    changed = true;
+    if (rng.bernoulli(0.5)) {
+      // Rotating ad creative: same slot, different payload size.
+      const double factor = rng.uniform(0.5, 1.8);
+      r.size = std::max<std::size_t>(
+          512, static_cast<std::size_t>(static_cast<double>(r.size) * factor));
+    } else {
+      // Different object entirely (new URL → new request in the trace).
+      r.path += "?v=" + std::to_string(++swap_counter) + "-" +
+                std::to_string(rng.uniform_int(0, 1 << 20));
+    }
+  }
+  if (!changed) return site;
+  return build_site(std::move(plan));
+}
+
+}  // namespace h2push::web

@@ -1,0 +1,31 @@
+// Site transforms used by the experiments.
+//
+// §4.3 relocates all content onto a single server; §5 unifies domains of
+// the same infrastructure (e.g. img.bbystatic.com with bestbuy.com) and
+// hosts critical above-the-fold resources on the merged origin; Fig. 2a's
+// "Internet" condition includes dynamic third-party content that changes
+// between loads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "web/site.h"
+
+namespace h2push::web {
+
+/// Move every resource onto the primary host/IP — the paper's synthetic
+/// single-server deployment (§4.3). Paths are prefixed to avoid collisions.
+Site relocate_single_server(const Site& site);
+
+/// Map the listed hosts onto the primary IP (same infrastructure), so the
+/// regenerated certificates make them coalescable and pushable (§5).
+Site unify_domains(const Site& site, const std::vector<std::string>& hosts);
+
+/// Per-run dynamic-content mutation for the Internet condition: with
+/// probability `prob` per third-party resource, resize it (rotating ads) or
+/// swap it for a different object.
+Site mutate_dynamic(const Site& site, double prob, util::Rng& rng);
+
+}  // namespace h2push::web

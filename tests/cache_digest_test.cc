@@ -1,0 +1,223 @@
+// Cache-digest extension tests: SHA-256 vectors, Golomb-coded-set encoding
+// round trips, membership properties (no false negatives, bounded false
+// positives), and the end-to-end behaviour: a warm client's digest stops
+// the server from pushing cached resources, while hints (link rel=preload)
+// provide the push-free alternative.
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "h2/cache_digest.h"
+#include "util/rng.h"
+#include "util/sha256.h"
+#include "web/site.h"
+
+namespace h2push {
+namespace {
+
+// ---------------------------------------------------------------- sha256
+
+std::string hex(const std::array<std::uint8_t, 32>& digest) {
+  std::string out;
+  char buf[3];
+  for (const auto byte : digest) {
+    std::snprintf(buf, sizeof(buf), "%02x", byte);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(hex(util::sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex(util::sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex(util::sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongInputCrossesBlockBoundaries) {
+  // One million 'a' characters (classic vector).
+  const std::string input(1000000, 'a');
+  EXPECT_EQ(hex(util::sha256(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, Prefix64MatchesDigest) {
+  const auto d = util::sha256("abc");
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) expected = (expected << 8) | d[i];
+  EXPECT_EQ(util::sha256_prefix64("abc"), expected);
+}
+
+// ----------------------------------------------------------- cache digest
+
+std::vector<std::string> make_urls(int n, std::uint64_t seed) {
+  std::vector<std::string> urls;
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    urls.push_back("https://cdn.example/asset/" + std::to_string(i) + "-" +
+                   std::to_string(rng.uniform_int(0, 1 << 30)) + ".css");
+  }
+  return urls;
+}
+
+TEST(CacheDigest, NoFalseNegatives) {
+  const auto urls = make_urls(100, 1);
+  const auto digest = h2::CacheDigest::build(urls);
+  for (const auto& url : urls) {
+    EXPECT_TRUE(digest.probably_contains(url)) << url;
+  }
+}
+
+TEST(CacheDigest, EncodeDecodeRoundTrip) {
+  const auto urls = make_urls(64, 2);
+  const auto digest = h2::CacheDigest::build(urls);
+  const auto wire = digest.encode();
+  const auto decoded = h2::CacheDigest::decode(wire);
+  ASSERT_TRUE(decoded.has_value()) << decoded.error();
+  EXPECT_EQ(decoded->entry_count(), digest.entry_count());
+  for (const auto& url : urls) {
+    EXPECT_TRUE(decoded->probably_contains(url)) << url;
+  }
+}
+
+TEST(CacheDigest, EmptyDigest) {
+  const auto digest = h2::CacheDigest::build({});
+  EXPECT_TRUE(digest.empty());
+  EXPECT_FALSE(digest.probably_contains("https://x.example/"));
+  const auto decoded = h2::CacheDigest::decode(digest.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->probably_contains("https://x.example/"));
+}
+
+TEST(CacheDigest, SingleEntry) {
+  const auto digest =
+      h2::CacheDigest::build({"https://a.example/only.css"});
+  const auto decoded = h2::CacheDigest::decode(digest.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->probably_contains("https://a.example/only.css"));
+  EXPECT_FALSE(decoded->probably_contains("https://a.example/other.css"));
+}
+
+TEST(CacheDigest, FalsePositiveRateIsBounded) {
+  const auto urls = make_urls(256, 3);
+  const auto digest = h2::CacheDigest::build(urls, /*p_bits=*/7);
+  const auto probes = make_urls(5000, 999);  // disjoint URLs
+  int false_positives = 0;
+  for (const auto& probe : probes) {
+    if (digest.probably_contains(probe)) ++false_positives;
+  }
+  // Expected rate 2^-7 ≈ 0.8 %; allow 3x headroom.
+  EXPECT_LT(false_positives, 5000 * 3 / 128);
+}
+
+TEST(CacheDigest, WireFormatIsCompact) {
+  // GCS coding: roughly N * (p_bits + ~2) bits.
+  const auto urls = make_urls(128, 4);
+  const auto wire = h2::CacheDigest::build(urls, 7).encode();
+  EXPECT_LT(wire.size(), 128u * 3);  // ≪ 128 full hashes
+  EXPECT_GT(wire.size(), 128u);     // but not magically small
+}
+
+class CacheDigestRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CacheDigestRoundTrip, AllPBitsRoundTrip) {
+  const unsigned p_bits = GetParam();
+  const auto urls = make_urls(50, 77 + p_bits);
+  const auto digest = h2::CacheDigest::build(urls, p_bits);
+  const auto decoded = h2::CacheDigest::decode(digest.encode());
+  ASSERT_TRUE(decoded.has_value());
+  for (const auto& url : urls) {
+    EXPECT_TRUE(decoded->probably_contains(url));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PBits, CacheDigestRoundTrip,
+                         ::testing::Values(5u, 6u, 7u, 8u, 10u, 12u));
+
+TEST(CacheDigest, DecodeRejectsGarbageParameters) {
+  EXPECT_FALSE(h2::CacheDigest::decode({0x40, 0x40}).has_value());  // 64+64
+  EXPECT_FALSE(h2::CacheDigest::decode({0x05}).has_value());  // truncated
+}
+
+// -------------------------------------------------------------- end to end
+
+web::Site digest_site() {
+  web::PagePlan plan;
+  plan.name = "digest-site";
+  plan.primary_host = "www.digest.test";
+  plan.html_size = 20 * 1024;
+  plan.host_ip[plan.primary_host] = "10.0.0.1";
+  using P = web::ResourcePlan::Placement;
+  auto add = [&](const char* path, http::ResourceType type, std::size_t kb,
+                 P placement) {
+    web::ResourcePlan r;
+    r.path = path;
+    r.host = plan.primary_host;
+    r.type = type;
+    r.size = kb * 1024;
+    r.placement = placement;
+    plan.resources.push_back(r);
+  };
+  add("/a.css", http::ResourceType::kCss, 30, P::kHead);
+  add("/b.js", http::ResourceType::kJs, 40, P::kHead);
+  add("/c.png", http::ResourceType::kImage, 50, P::kBodyMiddle);
+  return web::build_site(plan);
+}
+
+TEST(CacheDigestE2E, WarmClientDigestPreventsPushes) {
+  const auto site = digest_site();
+  auto strategy = core::push_all(site, web::resource_urls(site));
+  // Warm cache: the client holds everything from the first visit.
+  core::RunConfig cfg;
+  for (const auto& url : web::resource_urls(site)) {
+    cfg.browser.cached_urls.insert(url);
+  }
+  // Without a digest the server pushes anyway; the client cancels, but the
+  // bytes may already be in flight (paper §2.1).
+  cfg.browser.send_cache_digest = false;
+  const auto without = core::run_page_load(site, strategy, cfg);
+  EXPECT_EQ(without.pushes_cancelled, 3u);
+
+  cfg.browser.send_cache_digest = true;
+  const auto with = core::run_page_load(site, strategy, cfg);
+  EXPECT_EQ(with.pushes_cancelled, 0u);  // never promised
+  EXPECT_EQ(with.bytes_pushed, 0u);
+  EXPECT_LE(with.bytes_total, without.bytes_total);
+}
+
+TEST(CacheDigestE2E, ColdClientDigestChangesNothing) {
+  const auto site = digest_site();
+  auto strategy = core::push_all(site, web::resource_urls(site));
+  core::RunConfig cfg;
+  cfg.browser.send_cache_digest = true;  // empty cache → no digest sent
+  const auto result = core::run_page_load(site, strategy, cfg);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.num_pushed, 3u);
+}
+
+TEST(HintsE2E, PreloadHeadersTriggerEarlyFetches) {
+  const auto site = digest_site();
+  const auto hints = core::hint_all(site, web::resource_urls(site));
+  core::RunConfig cfg;
+  const auto hinted = core::run_page_load(site, hints, cfg);
+  const auto baseline = core::run_page_load(site, core::no_push(), cfg);
+  ASSERT_TRUE(hinted.complete);
+  EXPECT_EQ(hinted.num_pushed, 0u);  // hints are not pushes
+  // The body-referenced image is requested earlier with hints: the link
+  // header arrives with the HTML response headers, before any body bytes.
+  double hinted_init = -1, baseline_init = -1;
+  for (const auto& r : hinted.resources) {
+    if (r.url.find("c.png") != std::string::npos) hinted_init = r.t_initiated_ms;
+  }
+  for (const auto& r : baseline.resources) {
+    if (r.url.find("c.png") != std::string::npos)
+      baseline_init = r.t_initiated_ms;
+  }
+  EXPECT_LT(hinted_init, baseline_init);
+}
+
+}  // namespace
+}  // namespace h2push

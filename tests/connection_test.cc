@@ -1,0 +1,353 @@
+// H2 Connection endpoint tests: a client/server pair wired through an
+// in-memory pipe — request/response flow, push promise lifecycle, push
+// cancellation, SETTINGS_ENABLE_PUSH, flow control enforcement, scheduler
+// interaction and the interleaving scheduler's hard switch.
+#include <gtest/gtest.h>
+
+#include "h2/connection.h"
+#include "server/interleaving.h"
+
+namespace h2push::h2 {
+namespace {
+
+struct Pair {
+  std::unique_ptr<Connection> client;
+  std::unique_ptr<Connection> server;
+  std::vector<std::pair<std::uint32_t, std::string>> client_bodies;
+  std::map<std::uint32_t, bool> client_stream_done;
+  std::vector<std::uint32_t> promises;
+  std::vector<std::pair<std::uint32_t, http::HeaderBlock>> requests;
+  std::string client_error, server_error;
+
+  explicit Pair(bool enable_push = true,
+                std::uint32_t client_window = kDefaultInitialWindow) {
+    Connection::Config cc;
+    cc.role = Role::kClient;
+    cc.enable_push = enable_push;
+    cc.initial_window = client_window;
+    Connection::Callbacks ccb;
+    ccb.on_data = [this](std::uint32_t stream,
+                         std::span<const std::uint8_t> data, bool fin) {
+      body(stream).append(reinterpret_cast<const char*>(data.data()),
+                          data.size());
+      if (fin) client_stream_done[stream] = true;
+    };
+    ccb.on_headers = [this](std::uint32_t stream, http::HeaderBlock,
+                            bool fin) {
+      if (fin) client_stream_done[stream] = true;
+    };
+    ccb.on_push_promise = [this](std::uint32_t, std::uint32_t promised,
+                                 http::HeaderBlock) {
+      promises.push_back(promised);
+    };
+    ccb.on_connection_error = [this](const std::string& e) {
+      client_error = e;
+    };
+    client = std::make_unique<Connection>(cc, std::move(ccb));
+
+    Connection::Config sc;
+    sc.role = Role::kServer;
+    Connection::Callbacks scb;
+    scb.on_headers = [this](std::uint32_t stream, http::HeaderBlock headers,
+                            bool) {
+      requests.emplace_back(stream, std::move(headers));
+    };
+    scb.on_connection_error = [this](const std::string& e) {
+      server_error = e;
+    };
+    server = std::make_unique<Connection>(sc, std::move(scb));
+    client->start();
+    server->start();
+  }
+
+  std::string& body(std::uint32_t stream) {
+    for (auto& [id, b] : client_bodies) {
+      if (id == stream) return b;
+    }
+    client_bodies.emplace_back(stream, std::string{});
+    return client_bodies.back().second;
+  }
+
+  /// Shuttle bytes until both sides go quiet. `chunk` limits per-produce
+  /// bytes so scheduling decisions interleave like they do over TCP.
+  void pump(std::size_t chunk = 4096, int max_iters = 10000) {
+    for (int i = 0; i < max_iters; ++i) {
+      bool any = false;
+      if (client->want_write()) {
+        auto bytes = client->produce(chunk);
+        if (!bytes.empty()) {
+          server->receive(bytes);
+          any = true;
+        }
+      }
+      if (server->want_write()) {
+        auto bytes = server->produce(chunk);
+        if (!bytes.empty()) {
+          client->receive(bytes);
+          any = true;
+        }
+      }
+      if (!any) return;
+    }
+    FAIL() << "pump did not quiesce";
+  }
+
+  std::uint32_t get(const std::string& path) {
+    http::Request req;
+    req.url = http::Url{"https", "test.example", 443, path};
+    return client->submit_request(req.to_h2_headers());
+  }
+
+  static Body make_body(std::size_t n, char c = 'x') {
+    return std::make_shared<const std::string>(std::string(n, c));
+  }
+};
+
+TEST(Connection, BasicRequestResponse) {
+  Pair p;
+  const auto id = p.get("/index.html");
+  p.pump();
+  ASSERT_EQ(p.requests.size(), 1u);
+  EXPECT_EQ(http::find_header(p.requests[0].second, ":path"), "/index.html");
+  http::Response resp;
+  resp.status = 200;
+  resp.body_size = 5000;
+  p.server->submit_response(id, resp.to_h2_headers(), Pair::make_body(5000));
+  p.pump();
+  EXPECT_EQ(p.body(id).size(), 5000u);
+  EXPECT_TRUE(p.client_stream_done[id]);
+  EXPECT_EQ(p.client->stream_state(id), StreamState::kClosed);
+  EXPECT_EQ(p.server->stream_state(id), StreamState::kClosed);
+}
+
+TEST(Connection, EmptyBodyResponseClosesWithHeaders) {
+  Pair p;
+  const auto id = p.get("/empty");
+  p.pump();
+  http::Response resp;
+  resp.status = 204;
+  p.server->submit_response(id, resp.to_h2_headers(), nullptr);
+  p.pump();
+  EXPECT_TRUE(p.client_stream_done[id]);
+  EXPECT_TRUE(p.body(id).empty());
+}
+
+TEST(Connection, MultiplexedStreamsAllComplete) {
+  Pair p;
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(p.get("/r" + std::to_string(i)));
+  p.pump();
+  ASSERT_EQ(p.requests.size(), 20u);
+  for (const auto& [stream, headers] : p.requests) {
+    http::Response resp;
+    resp.body_size = 2000;
+    p.server->submit_response(stream, resp.to_h2_headers(),
+                              Pair::make_body(2000));
+  }
+  p.pump();
+  for (const auto id : ids) {
+    EXPECT_EQ(p.body(id).size(), 2000u) << "stream " << id;
+  }
+}
+
+TEST(Connection, PushPromiseDeliversEvenStream) {
+  Pair p;
+  const auto id = p.get("/");
+  p.pump();
+  http::Request push_req;
+  push_req.url = http::Url{"https", "test.example", 443, "/style.css"};
+  const auto promised =
+      p.server->submit_push_promise(id, push_req.to_h2_headers());
+  ASSERT_NE(promised, 0u);
+  EXPECT_EQ(promised % 2, 0u);
+  http::Response resp;
+  resp.body_size = 1234;
+  p.server->submit_response(promised, resp.to_h2_headers(),
+                            Pair::make_body(1234));
+  p.server->submit_response(id, resp.to_h2_headers(), Pair::make_body(1234));
+  p.pump();
+  ASSERT_EQ(p.promises.size(), 1u);
+  EXPECT_EQ(p.promises[0], promised);
+  EXPECT_EQ(p.body(promised).size(), 1234u);
+}
+
+TEST(Connection, EnablePushZeroBlocksPromises) {
+  Pair p(/*enable_push=*/false);
+  const auto id = p.get("/");
+  p.pump();
+  EXPECT_FALSE(p.server->push_enabled_by_peer());
+  http::Request push_req;
+  push_req.url = http::Url{"https", "test.example", 443, "/style.css"};
+  EXPECT_EQ(p.server->submit_push_promise(id, push_req.to_h2_headers()), 0u);
+}
+
+TEST(Connection, ClientCanCancelPush) {
+  Pair p;
+  const auto id = p.get("/");
+  p.pump();
+  http::Request push_req;
+  push_req.url = http::Url{"https", "test.example", 443, "/cached.css"};
+  const auto promised =
+      p.server->submit_push_promise(id, push_req.to_h2_headers());
+  p.pump();
+  p.client->submit_rst(promised, ErrorCode::kCancel);
+  p.pump();
+  // A late response on the cancelled stream goes nowhere.
+  http::Response resp;
+  resp.body_size = 999;
+  p.server->submit_response(promised, resp.to_h2_headers(),
+                            Pair::make_body(999));
+  p.pump();
+  EXPECT_TRUE(p.body(promised).empty());
+  EXPECT_EQ(p.server->stream_state(promised), StreamState::kClosed);
+}
+
+TEST(Connection, PushPromiseOnClosedParentFails) {
+  Pair p;
+  const auto id = p.get("/");
+  p.pump();
+  http::Response resp;
+  p.server->submit_response(id, resp.to_h2_headers(), nullptr);
+  p.pump();
+  http::Request push_req;
+  push_req.url = http::Url{"https", "test.example", 443, "/late.css"};
+  EXPECT_EQ(p.server->submit_push_promise(id, push_req.to_h2_headers()), 0u);
+}
+
+TEST(Connection, FlowControlLimitsUntilWindowUpdate) {
+  // Small client window: the server cannot send more than 65535 bytes
+  // before the client replenishes (which our client does automatically).
+  Pair p;
+  const auto id = p.get("/big");
+  p.pump();
+  http::Response resp;
+  resp.body_size = 500000;
+  p.server->submit_response(id, resp.to_h2_headers(),
+                            Pair::make_body(500000));
+  p.pump();
+  EXPECT_EQ(p.body(id).size(), 500000u);  // window updates kept it flowing
+  EXPECT_TRUE(p.client_error.empty()) << p.client_error;
+  EXPECT_TRUE(p.server_error.empty()) << p.server_error;
+}
+
+TEST(Connection, ProducedDataRespectsConnectionWindow) {
+  Pair p;
+  const auto id = p.get("/big");
+  p.pump();
+  http::Response resp;
+  resp.body_size = 200000;
+  p.server->submit_response(id, resp.to_h2_headers(),
+                            Pair::make_body(200000));
+  // Produce without delivering ACK-side window updates: the server must
+  // stop at the default 65535-byte connection window.
+  std::size_t produced_data = 0;
+  while (p.server->want_write()) {
+    auto bytes = p.server->produce(100000);
+    if (bytes.empty()) break;
+    produced_data += bytes.size();
+  }
+  EXPECT_LE(p.server->total_data_sent(), 65535u);
+  EXPECT_GE(p.server->total_data_sent(), 65535u - kDefaultMaxFrameSize);
+}
+
+TEST(Connection, DataBytesSentTracksPerStream) {
+  Pair p;
+  const auto a = p.get("/a");
+  const auto b = p.get("/b");
+  p.pump();
+  http::Response resp;
+  p.server->submit_response(a, resp.to_h2_headers(), Pair::make_body(1000));
+  p.server->submit_response(b, resp.to_h2_headers(), Pair::make_body(3000));
+  p.pump();
+  EXPECT_EQ(p.server->data_bytes_sent(a), 1000u);
+  EXPECT_EQ(p.server->data_bytes_sent(b), 3000u);
+  EXPECT_EQ(p.server->total_data_sent(), 4000u);
+}
+
+TEST(Connection, InterleavingSchedulerHardSwitch) {
+  // The paper's Fig. 5a, at the connection level: parent HTML pauses at the
+  // offset, the critical push drains completely, the parent resumes.
+  Pair p;
+  auto scheduler = std::make_unique<server::InterleavingScheduler>();
+  auto* interleaver = scheduler.get();
+  p.server->set_scheduler(std::move(scheduler));
+  const auto id = p.get("/");
+  p.pump();
+  http::Request push_req;
+  push_req.url = http::Url{"https", "test.example", 443, "/critical.css"};
+  const auto promised =
+      p.server->submit_push_promise(id, push_req.to_h2_headers());
+  http::Response resp;
+  p.server->submit_response(promised, resp.to_h2_headers(),
+                            Pair::make_body(8000, 'c'));
+  p.server->submit_response(id, resp.to_h2_headers(),
+                            Pair::make_body(50000, 'h'));
+  interleaver->configure(id, 4096, {promised});
+
+  // Drive the server byte by byte and track arrival order at the client.
+  std::string arrival_tags;
+  std::size_t html_before_css_done = 0;
+  bool css_done = false;
+  while (p.server->want_write()) {
+    auto bytes = p.server->produce(2048);
+    if (bytes.empty()) break;
+    p.client->receive(bytes);
+    if (!css_done) html_before_css_done = p.body(id).size();
+    if (p.body(promised).size() == 8000u) css_done = true;
+    // Let window updates flow back.
+    while (p.client->want_write()) {
+      auto back = p.client->produce(4096);
+      if (back.empty()) break;
+      p.server->receive(back);
+    }
+  }
+  EXPECT_EQ(p.body(id).size(), 50000u);
+  EXPECT_EQ(p.body(promised).size(), 8000u);
+  // The parent stopped at the offset until the pushed stream finished.
+  EXPECT_LE(html_before_css_done, 4096u);
+  EXPECT_GT(html_before_css_done, 0u);
+}
+
+TEST(Connection, PingIsAcked) {
+  Pair p;
+  p.pump();
+  p.client->receive(serialize(Frame{PingFrame{false, 77}}));
+  auto bytes = p.client->produce(1024);
+  // Find a PING ack in the output.
+  FrameParser parser;
+  auto frames = parser.feed(bytes);
+  ASSERT_TRUE(frames.has_value());
+  bool found = false;
+  for (const auto& f : *frames) {
+    if (const auto* ping = std::get_if<PingFrame>(&f)) {
+      if (ping->ack && ping->opaque == 77) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Connection, GarbageInputRaisesConnectionError) {
+  Pair p;
+  p.pump();
+  std::vector<std::uint8_t> garbage{0xff, 0xff, 0xff, 0x01, 0x00,
+                                    0x00, 0x00, 0x00, 0x01};
+  p.server->receive(garbage);
+  EXPECT_FALSE(p.server->last_error().empty());
+}
+
+TEST(Connection, BadPrefaceIsRejected) {
+  Connection::Config sc;
+  sc.role = Role::kServer;
+  std::string error;
+  Connection::Callbacks scb;
+  scb.on_connection_error = [&error](const std::string& e) { error = e; };
+  Connection server(sc, std::move(scb));
+  server.start();
+  const std::string bad = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  server.receive({reinterpret_cast<const std::uint8_t*>(bad.data()),
+                  bad.size()});
+  EXPECT_EQ(error, "bad client preface");
+}
+
+}  // namespace
+}  // namespace h2push::h2

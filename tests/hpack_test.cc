@@ -1,0 +1,279 @@
+// HPACK unit + property tests: integer coding, Huffman, static/dynamic
+// tables, encoder/decoder round trips, and RFC 7541 error cases.
+#include <gtest/gtest.h>
+
+#include "h2/hpack.h"
+#include "h2/hpack_huffman.h"
+#include "util/rng.h"
+
+namespace h2push::h2 {
+namespace {
+
+// ---------------------------------------------------------------- integers
+
+TEST(HpackInt, EncodesSmallValueInPrefix) {
+  std::vector<std::uint8_t> out;
+  hpack_encode_int(10, 5, 0x00, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 10);
+}
+
+TEST(HpackInt, Rfc7541ExampleC11) {
+  // C.1.1: encoding 10 with a 5-bit prefix.
+  std::vector<std::uint8_t> out;
+  hpack_encode_int(10, 5, 0, out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0x0a}));
+}
+
+TEST(HpackInt, Rfc7541ExampleC12) {
+  // C.1.2: encoding 1337 with a 5-bit prefix → 1f 9a 0a.
+  std::vector<std::uint8_t> out;
+  hpack_encode_int(1337, 5, 0, out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0x1f, 0x9a, 0x0a}));
+}
+
+TEST(HpackInt, PreservesFlagBits) {
+  std::vector<std::uint8_t> out;
+  hpack_encode_int(3, 6, 0x40, out);
+  EXPECT_EQ(out[0], 0x43);
+}
+
+TEST(HpackInt, DecodeTruncatedFails) {
+  const std::vector<std::uint8_t> bytes{0x1f};  // continuation expected
+  std::size_t pos = 0;
+  EXPECT_FALSE(hpack_decode_int(bytes, pos, 5).has_value());
+}
+
+TEST(HpackInt, DecodeOverflowFails) {
+  std::vector<std::uint8_t> bytes{0x1f};
+  for (int i = 0; i < 12; ++i) bytes.push_back(0xff);
+  bytes.push_back(0x7f);
+  std::size_t pos = 0;
+  EXPECT_FALSE(hpack_decode_int(bytes, pos, 5).has_value());
+}
+
+class HpackIntRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HpackIntRoundTrip, RoundTripsAcrossPrefixSizes) {
+  const int prefix = GetParam();
+  util::Rng rng(0x1234 + static_cast<std::uint64_t>(prefix));
+  for (int i = 0; i < 500; ++i) {
+    const auto value =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000'000));
+    std::vector<std::uint8_t> out;
+    hpack_encode_int(value, prefix, 0, out);
+    std::size_t pos = 0;
+    auto decoded = hpack_decode_int(out, pos, prefix);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, value);
+    EXPECT_EQ(pos, out.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrefixes, HpackIntRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----------------------------------------------------------------- huffman
+
+TEST(Huffman, EncodesRfcExample) {
+  // RFC 7541 C.4.1: "www.example.com" → f1e3 c2e5 f23a 6ba0 ab90 f4ff.
+  std::vector<std::uint8_t> out;
+  huffman_encode("www.example.com", out);
+  const std::vector<std::uint8_t> expected{0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a,
+                                           0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Huffman, DecodesRfcExample) {
+  const std::vector<std::uint8_t> wire{0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a,
+                                       0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff};
+  auto decoded = huffman_decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, "www.example.com");
+}
+
+TEST(Huffman, EncodedSizeMatchesEncoding) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    std::string s;
+    const auto len = rng.uniform_int(0, 64);
+    for (int j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    std::vector<std::uint8_t> out;
+    huffman_encode(s, out);
+    EXPECT_EQ(out.size(), huffman_encoded_size(s));
+  }
+}
+
+TEST(Huffman, RoundTripsArbitraryBytes) {
+  util::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    std::string s;
+    const auto len = rng.uniform_int(0, 200);
+    for (int j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    std::vector<std::uint8_t> out;
+    huffman_encode(s, out);
+    auto decoded = huffman_decode(out);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, s);
+  }
+}
+
+TEST(Huffman, RejectsBadPadding) {
+  // A full byte of zero bits cannot be EOS padding.
+  const std::vector<std::uint8_t> bad{0x00};
+  // 0x00 decodes '0' after 5 bits then 3 zero-bits padding → invalid
+  // padding (must be all ones).
+  auto result = huffman_decode(bad);
+  EXPECT_FALSE(result.has_value());
+}
+
+// ------------------------------------------------------------ dynamic table
+
+TEST(HpackDynamicTable, EvictsOldestWhenFull) {
+  HpackDynamicTable table(100);
+  table.add("aaaa", "bbbb");  // 8 + 32 = 40
+  table.add("cccc", "dddd");  // 40 (total 80)
+  table.add("eeee", "ffff");  // would exceed: evict the oldest
+  EXPECT_EQ(table.entry_count(), 2u);
+  EXPECT_EQ(table.at(0).name, "eeee");
+  EXPECT_EQ(table.at(1).name, "cccc");
+}
+
+TEST(HpackDynamicTable, OversizedEntryClearsTable) {
+  HpackDynamicTable table(50);
+  table.add("a", "b");
+  table.add(std::string(100, 'x'), "y");
+  EXPECT_EQ(table.entry_count(), 0u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(HpackDynamicTable, SetMaxSizeEvicts) {
+  HpackDynamicTable table(200);
+  table.add("aaaa", "bbbb");
+  table.add("cccc", "dddd");
+  table.set_max_size(50);
+  EXPECT_EQ(table.entry_count(), 1u);
+  EXPECT_EQ(table.at(0).name, "cccc");
+}
+
+// ----------------------------------------------------------- encode/decode
+
+http::HeaderBlock request_headers() {
+  return {{":method", "GET"},
+          {":scheme", "https"},
+          {":authority", "www.example.org"},
+          {":path", "/static/app.js"},
+          {"accept-encoding", "gzip, deflate"},
+          {"user-agent", "h2push-test/1.0"}};
+}
+
+TEST(Hpack, RoundTripsSimpleBlock) {
+  HpackEncoder encoder;
+  HpackDecoder decoder;
+  const auto block = request_headers();
+  const auto wire = encoder.encode(block);
+  auto decoded = decoder.decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, block);
+}
+
+TEST(Hpack, SecondEncodingIsSmaller) {
+  HpackEncoder encoder;
+  const auto block = request_headers();
+  const auto first = encoder.encode(block);
+  const auto second = encoder.encode(block);
+  EXPECT_LT(second.size(), first.size());  // indexed representations
+  // And a shared decoder still reproduces both.
+  HpackDecoder decoder;
+  auto d1 = decoder.decode(first);
+  auto d2 = decoder.decode(second);
+  ASSERT_TRUE(d1.has_value());
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(*d1, block);
+  EXPECT_EQ(*d2, block);
+}
+
+TEST(Hpack, StaticTableExactMatchIsOneByte) {
+  HpackEncoder encoder;
+  const auto wire = encoder.encode({{":method", "GET"}});
+  ASSERT_EQ(wire.size(), 1u);
+  EXPECT_EQ(wire[0], 0x82);  // static index 2
+}
+
+TEST(Hpack, DecoderRejectsIndexOutOfRange) {
+  HpackDecoder decoder;
+  const std::vector<std::uint8_t> wire{0xff, 0x7f};  // huge index
+  EXPECT_FALSE(decoder.decode(wire).has_value());
+}
+
+TEST(Hpack, DecoderRejectsSizeUpdateAboveSettingsCap) {
+  HpackDecoder decoder;
+  decoder.set_max_table_size(4096);
+  std::vector<std::uint8_t> wire;
+  hpack_encode_int(65536, 5, 0x20, wire);
+  EXPECT_FALSE(decoder.decode(wire).has_value());
+}
+
+TEST(Hpack, DecoderRejectsSizeUpdateAfterHeader) {
+  HpackEncoder encoder;
+  auto wire = encoder.encode({{":method", "GET"}});
+  hpack_encode_int(1024, 5, 0x20, wire);  // size update after a field
+  HpackDecoder decoder;
+  EXPECT_FALSE(decoder.decode(wire).has_value());
+}
+
+TEST(Hpack, TableSizeUpdateRoundTrips) {
+  HpackEncoder encoder;
+  HpackDecoder decoder;
+  (void)encoder.encode(request_headers());
+  encoder.set_table_size(128);
+  const auto wire = encoder.encode(request_headers());
+  auto decoded = decoder.decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, request_headers());
+  EXPECT_LE(decoder.table().max_size(), 128u);
+}
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class HpackFuzzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HpackFuzzRoundTrip, RandomHeaderBlocksSurviveSharedState) {
+  util::Rng rng(0xABCDEF + static_cast<std::uint64_t>(GetParam()));
+  HpackEncoder encoder(1024);
+  HpackDecoder decoder(1024);
+  for (int block_i = 0; block_i < 50; ++block_i) {
+    http::HeaderBlock block;
+    const auto n = rng.uniform_int(1, 12);
+    for (int f = 0; f < n; ++f) {
+      std::string name, value;
+      const auto name_len = rng.uniform_int(1, 20);
+      for (int c = 0; c < name_len; ++c) {
+        name.push_back(static_cast<char>('a' + rng.uniform_int(0, 25)));
+      }
+      const auto value_len = rng.uniform_int(0, 60);
+      for (int c = 0; c < value_len; ++c) {
+        value.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+      }
+      block.push_back({std::move(name), std::move(value)});
+    }
+    const auto wire = encoder.encode(block, rng.bernoulli(0.5));
+    auto decoded = decoder.decode(wire);
+    ASSERT_TRUE(decoded.has_value()) << decoded.error();
+    EXPECT_EQ(*decoded, block);
+    // Encoder and decoder dynamic tables stay in lockstep.
+    EXPECT_EQ(encoder.table().size(), decoder.table().size());
+    EXPECT_EQ(encoder.table().entry_count(), decoder.table().entry_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HpackFuzzRoundTrip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace h2push::h2

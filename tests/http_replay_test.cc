@@ -1,0 +1,209 @@
+// URL parsing/resolution, header/message helpers, the record store, and the
+// origin/certificate/coalescing model (paper §4.1–§4.2).
+#include <gtest/gtest.h>
+
+#include "http/message.h"
+#include "http/url.h"
+#include "replay/origin.h"
+#include "replay/record.h"
+
+namespace h2push {
+namespace {
+
+// --------------------------------------------------------------------- url
+
+TEST(Url, ParsesHttpsWithDefaults) {
+  auto url = http::parse_url("https://www.Example.COM/path/x.css?v=1");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme, "https");
+  EXPECT_EQ(url->host, "www.example.com");  // lowercased
+  EXPECT_EQ(url->port, 443);
+  EXPECT_EQ(url->path, "/path/x.css?v=1");
+  EXPECT_EQ(url->origin(), "https://www.example.com");
+}
+
+TEST(Url, ParsesExplicitPort) {
+  auto url = http::parse_url("http://host:8080/");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->port, 8080);
+  EXPECT_EQ(url->origin(), "http://host:8080");
+}
+
+TEST(Url, BarePathDefaultsToRoot) {
+  auto url = http::parse_url("https://host");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(url->str(), "https://host/");
+}
+
+TEST(Url, RejectsBadInput) {
+  EXPECT_FALSE(http::parse_url("ftp://host/").has_value());
+  EXPECT_FALSE(http::parse_url("https:///nohost").has_value());
+  EXPECT_FALSE(http::parse_url("https://host:badport/").has_value());
+}
+
+TEST(Url, ResolveVariants) {
+  const auto base = *http::parse_url("https://a.example/dir/page.html");
+  EXPECT_EQ(http::resolve(base, "https://b.example/x").str(),
+            "https://b.example/x");
+  EXPECT_EQ(http::resolve(base, "//c.example/y").str(),
+            "https://c.example/y");
+  EXPECT_EQ(http::resolve(base, "/abs.css").str(),
+            "https://a.example/abs.css");
+  EXPECT_EQ(http::resolve(base, "rel.js").str(),
+            "https://a.example/dir/rel.js");
+}
+
+// ---------------------------------------------------------------- message
+
+TEST(Message, ClassifyByContentType) {
+  using http::ResourceType;
+  EXPECT_EQ(http::classify("text/html; charset=utf-8", "/x"),
+            ResourceType::kHtml);
+  EXPECT_EQ(http::classify("text/css", "/x"), ResourceType::kCss);
+  EXPECT_EQ(http::classify("application/javascript", "/x"),
+            ResourceType::kJs);
+  EXPECT_EQ(http::classify("image/png", "/x"), ResourceType::kImage);
+  EXPECT_EQ(http::classify("font/woff2", "/x"), ResourceType::kFont);
+}
+
+TEST(Message, ClassifyByExtensionFallback) {
+  using http::ResourceType;
+  EXPECT_EQ(http::classify("", "/a/b.css"), ResourceType::kCss);
+  EXPECT_EQ(http::classify("", "/a/b.js"), ResourceType::kJs);
+  EXPECT_EQ(http::classify("", "/a/b.jpg?v=2"), ResourceType::kImage);
+  EXPECT_EQ(http::classify("", "/a/b.woff2"), ResourceType::kFont);
+  EXPECT_EQ(http::classify("", "/"), ResourceType::kHtml);
+  EXPECT_EQ(http::classify("", "/api/data.json"), ResourceType::kXhr);
+}
+
+TEST(Message, RequestToH2Headers) {
+  http::Request req;
+  req.url = *http::parse_url("https://h.example/p?q=1");
+  const auto block = req.to_h2_headers();
+  EXPECT_EQ(http::find_header(block, ":method"), "GET");
+  EXPECT_EQ(http::find_header(block, ":scheme"), "https");
+  EXPECT_EQ(http::find_header(block, ":authority"), "h.example");
+  EXPECT_EQ(http::find_header(block, ":path"), "/p?q=1");
+}
+
+TEST(Message, ResponseToH2Headers) {
+  http::Response resp;
+  resp.status = 404;
+  resp.type = http::ResourceType::kCss;
+  resp.body_size = 123;
+  const auto block = resp.to_h2_headers();
+  EXPECT_EQ(http::find_header(block, ":status"), "404");
+  EXPECT_EQ(http::find_header(block, "content-type"), "text/css");
+  EXPECT_EQ(http::find_header(block, "content-length"), "123");
+}
+
+// ------------------------------------------------------------------ record
+
+replay::RecordedExchange make_exchange(const std::string& host,
+                                       const std::string& path,
+                                       std::size_t size) {
+  replay::RecordedExchange e;
+  e.request.url = http::Url{"https", host, 443, path};
+  e.response.body_size = size;
+  e.body = std::make_shared<const std::string>(std::string(size, 'b'));
+  return e;
+}
+
+TEST(RecordStore, FindsExactMatches) {
+  replay::RecordStore store;
+  store.add(make_exchange("a.example", "/x", 10));
+  store.add(make_exchange("b.example", "/x", 20));
+  const auto* a = store.find("a.example", "/x");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->body->size(), 10u);
+  EXPECT_EQ(store.find("b.example", "/x")->body->size(), 20u);
+  EXPECT_EQ(store.find("c.example", "/x"), nullptr);
+  EXPECT_EQ(store.find("a.example", "/y"), nullptr);
+}
+
+TEST(RecordStore, LatestRecordingWins) {
+  replay::RecordStore store;
+  store.add(make_exchange("a.example", "/x", 10));
+  store.add(make_exchange("a.example", "/x", 99));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find("a.example", "/x")->body->size(), 99u);
+}
+
+TEST(RecordStore, ForHostFilters) {
+  replay::RecordStore store;
+  store.add(make_exchange("a.example", "/1", 1));
+  store.add(make_exchange("a.example", "/2", 1));
+  store.add(make_exchange("b.example", "/3", 1));
+  EXPECT_EQ(store.for_host("a.example").size(), 2u);
+  EXPECT_EQ(store.for_host("b.example").size(), 1u);
+}
+
+// ------------------------------------------------------------------ origin
+
+TEST(OriginMap, GeneratedCertsCoverCoHostedDomains) {
+  replay::OriginMap origins;
+  origins.add_host("www.shop.example", "10.0.0.1");
+  origins.add_host("img.shop-cdn.example", "10.0.0.1");
+  origins.add_host("ads.tracker.example", "10.0.0.2");
+  origins.generate_certificates();
+  // Same IP + SAN → coalescable both ways (paper's modified Mahimahi).
+  EXPECT_TRUE(
+      origins.can_coalesce("www.shop.example", "img.shop-cdn.example"));
+  EXPECT_TRUE(
+      origins.can_coalesce("img.shop-cdn.example", "www.shop.example"));
+  // Different IP → never, regardless of certificates.
+  EXPECT_FALSE(origins.can_coalesce("www.shop.example",
+                                    "ads.tracker.example"));
+}
+
+TEST(OriginMap, RealWorldCertsCanExcludeCoHostedDomains) {
+  replay::OriginMap origins;
+  origins.add_host("a.example", "10.0.0.1");
+  origins.add_host("b.example", "10.0.0.1");
+  replay::Certificate cert;
+  cert.san_hosts = {"a.example"};  // b is co-hosted but not in the SAN
+  origins.set_certificate("10.0.0.1", cert);
+  EXPECT_FALSE(origins.can_coalesce("a.example", "b.example"));
+}
+
+TEST(OriginMap, AuthorityMatchesCoalescing) {
+  replay::OriginMap origins;
+  origins.add_host("a.example", "10.0.0.1");
+  origins.add_host("b.example", "10.0.0.1");
+  origins.add_host("c.example", "10.0.0.3");
+  origins.generate_certificates();
+  EXPECT_TRUE(origins.is_authoritative("a.example", "a.example"));
+  EXPECT_TRUE(origins.is_authoritative("a.example", "b.example"));
+  EXPECT_FALSE(origins.is_authoritative("a.example", "c.example"));
+}
+
+TEST(OriginMap, CoalescingGroupsPartition) {
+  replay::OriginMap origins;
+  origins.add_host("main.example", "10.0.0.1");
+  origins.add_host("static.example", "10.0.0.1");
+  origins.add_host("cdn1.example", "10.0.0.2");
+  origins.add_host("cdn2.example", "10.0.0.2");
+  origins.add_host("solo.example", "10.0.0.3");
+  origins.generate_certificates();
+  const auto groups = origins.coalescing_groups("main.example");
+  EXPECT_EQ(groups.at("main.example"), 0u);  // primary group is 0
+  EXPECT_EQ(groups.at("static.example"), 0u);
+  EXPECT_EQ(groups.at("cdn1.example"), groups.at("cdn2.example"));
+  EXPECT_NE(groups.at("cdn1.example"), groups.at("solo.example"));
+  EXPECT_NE(groups.at("cdn1.example"), 0u);
+}
+
+TEST(OriginMap, HostsOnIpEnumerates) {
+  replay::OriginMap origins;
+  origins.add_host("a.example", "10.0.0.1");
+  origins.add_host("b.example", "10.0.0.1");
+  origins.add_host("c.example", "10.0.0.2");
+  EXPECT_EQ(origins.hosts_on_ip("10.0.0.1").size(), 2u);
+  EXPECT_EQ(origins.all_ips().size(), 2u);
+  EXPECT_EQ(origins.ip_of("c.example"), "10.0.0.2");
+  EXPECT_TRUE(origins.ip_of("nope.example").empty());
+}
+
+}  // namespace
+}  // namespace h2push

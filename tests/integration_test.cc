@@ -1,0 +1,229 @@
+// End-to-end integration: full page loads through the synthesized corpus,
+// the TCP model, both H2 endpoints and the renderer.
+#include <gtest/gtest.h>
+
+#include "core/dependency.h"
+#include "core/optimize.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "web/site.h"
+#include "web/transform.h"
+
+namespace h2push {
+namespace {
+
+using web::PagePlan;
+using web::ResourcePlan;
+using Placement = web::ResourcePlan::Placement;
+
+/// A small single-origin page: head CSS + sync JS, a hero image, a hidden
+/// font behind the CSS, and some body images.
+PagePlan small_plan() {
+  PagePlan plan;
+  plan.name = "smoke";
+  plan.primary_host = "www.smoke.test";
+  plan.html_size = 24 * 1024;
+  plan.text_blocks = 12;
+  plan.host_ip[plan.primary_host] = "10.0.0.1";
+
+  ResourcePlan css;
+  css.path = "/static/main.css";
+  css.host = plan.primary_host;
+  css.type = http::ResourceType::kCss;
+  css.size = 14 * 1024;
+  css.placement = Placement::kHead;
+  plan.resources.push_back(css);
+
+  ResourcePlan js;
+  js.path = "/static/app.js";
+  js.host = plan.primary_host;
+  js.type = http::ResourceType::kJs;
+  js.size = 30 * 1024;
+  js.placement = Placement::kHead;
+  plan.resources.push_back(js);
+
+  ResourcePlan font;
+  font.path = "/fonts/brand.woff2";
+  font.host = plan.primary_host;
+  font.type = http::ResourceType::kFont;
+  font.size = 20 * 1024;
+  font.placement = Placement::kFromCss;
+  font.css_parent = "/static/main.css";
+  font.font_family = "brand";
+  font.above_fold = true;
+  plan.resources.push_back(font);
+
+  ResourcePlan hero;
+  hero.path = "/img/hero.png";
+  hero.host = plan.primary_host;
+  hero.type = http::ResourceType::kImage;
+  hero.size = 60 * 1024;
+  hero.placement = Placement::kBodyEarly;
+  hero.above_fold = true;
+  hero.display_width = 800;
+  hero.display_height = 300;
+  plan.resources.push_back(hero);
+
+  for (int i = 0; i < 4; ++i) {
+    ResourcePlan img;
+    img.path = "/img/photo" + std::to_string(i) + ".jpg";
+    img.host = plan.primary_host;
+    img.type = http::ResourceType::kImage;
+    img.size = 25 * 1024;
+    img.placement = Placement::kBodyMiddle;
+    plan.resources.push_back(img);
+  }
+  return plan;
+}
+
+PagePlan multi_origin_plan() {
+  PagePlan plan = small_plan();
+  plan.name = "smoke-multi";
+  // Third-party analytics script and CDN images on other IPs.
+  ResourcePlan tracker;
+  tracker.path = "/t.js";
+  tracker.host = "analytics.example";
+  tracker.type = http::ResourceType::kJs;
+  tracker.size = 18 * 1024;
+  tracker.placement = Placement::kBodyLate;
+  tracker.async = true;
+  plan.resources.push_back(tracker);
+
+  ResourcePlan cdn_img;
+  cdn_img.path = "/cdn/banner.png";
+  cdn_img.host = "cdn.smoke.test";
+  cdn_img.type = http::ResourceType::kImage;
+  cdn_img.size = 40 * 1024;
+  cdn_img.placement = Placement::kBodyMiddle;
+  plan.resources.push_back(cdn_img);
+
+  plan.host_ip["analytics.example"] = "10.9.9.9";
+  plan.host_ip["cdn.smoke.test"] = "10.0.0.1";  // co-hosted: pushable
+  return plan;
+}
+
+TEST(Integration, NoPushLoadCompletes) {
+  auto site = web::build_site(small_plan());
+  core::RunConfig cfg;
+  const auto result = core::run_page_load(site, core::no_push(), cfg);
+  ASSERT_TRUE(result.complete);
+  // 1 HTML + css + js + font + 5 images = 9 requests.
+  EXPECT_EQ(result.num_requests, 9u);
+  EXPECT_EQ(result.num_pushed, 0u);
+  EXPECT_EQ(result.bytes_pushed, 0u);
+  EXPECT_GT(result.plt_ms, 100.0);       // multiple RTTs at 50 ms
+  EXPECT_LT(result.plt_ms, 5000.0);
+  EXPECT_GT(result.speed_index_ms, 0.0);
+  EXPECT_GT(result.first_paint_ms, 0.0);
+  EXPECT_LE(result.first_paint_ms, result.last_visual_change_ms);
+}
+
+TEST(Integration, PushAllDeliversPushedStreams) {
+  auto site = web::build_site(small_plan());
+  core::RunConfig cfg;
+  auto strategy = core::push_all(site, web::resource_urls(site));
+  const auto result = core::run_page_load(site, strategy, cfg);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.num_pushed, 8u);  // every subresource was pushed
+  EXPECT_GT(result.bytes_pushed, 0u);
+}
+
+TEST(Integration, DeterministicAcrossIdenticalRuns) {
+  auto site = web::build_site(small_plan());
+  core::RunConfig cfg;
+  cfg.seed = 42;
+  cfg.run_index = 7;
+  const auto a = core::run_page_load(site, core::no_push(), cfg);
+  const auto b = core::run_page_load(site, core::no_push(), cfg);
+  EXPECT_DOUBLE_EQ(a.plt_ms, b.plt_ms);
+  EXPECT_DOUBLE_EQ(a.speed_index_ms, b.speed_index_ms);
+  EXPECT_EQ(a.bytes_total, b.bytes_total);
+}
+
+TEST(Integration, RunsDifferAcrossRunIndex) {
+  auto site = web::build_site(small_plan());
+  core::RunConfig cfg;
+  cfg.run_index = 0;
+  const auto a = core::run_page_load(site, core::no_push(), cfg);
+  cfg.run_index = 1;
+  const auto b = core::run_page_load(site, core::no_push(), cfg);
+  EXPECT_NE(a.plt_ms, b.plt_ms);  // compute jitter differs per run
+}
+
+TEST(Integration, ThirdPartyIsNotPushable) {
+  auto site = web::build_site(multi_origin_plan());
+  const auto pushable = web::pushable_urls(site);
+  // analytics.example resolves to a different IP → not pushable; the
+  // co-hosted CDN is pushable thanks to the generated SAN certificate.
+  EXPECT_EQ(pushable.size(), site.plan.resources.size() - 1);
+  auto strategy = core::push_all(site, web::resource_urls(site));
+  EXPECT_EQ(strategy.push_urls.size(), pushable.size());
+
+  core::RunConfig cfg;
+  const auto result = core::run_page_load(site, strategy, cfg);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.num_pushed, pushable.size());
+}
+
+TEST(Integration, PushVsNoPushBytesMatch) {
+  auto site = web::build_site(small_plan());
+  core::RunConfig cfg;
+  const auto np = core::run_page_load(site, core::no_push(), cfg);
+  const auto pa = core::run_page_load(
+      site, core::push_all(site, web::resource_urls(site)), cfg);
+  // Same bodies get delivered either way.
+  EXPECT_EQ(np.bytes_total, pa.bytes_total);
+}
+
+TEST(Integration, DependencyAnalysisFindsAllSubresources) {
+  auto site = web::build_site(small_plan());
+  core::RunConfig cfg;
+  const auto order = core::compute_push_order(site, cfg, 7);
+  EXPECT_EQ(order.order.size(), site.plan.resources.size());
+  // The render-blocking CSS must rank above the body images.
+  std::size_t css_rank = 999, img_rank = 0;
+  for (std::size_t i = 0; i < order.order.size(); ++i) {
+    if (order.order[i].find("main.css") != std::string::npos) css_rank = i;
+    if (order.order[i].find("photo3") != std::string::npos) img_rank = i;
+  }
+  EXPECT_LT(css_rank, img_rank);
+}
+
+TEST(Integration, CriticalCssExtractionIsSmallerAndCoversFonts) {
+  auto site = web::build_site(small_plan());
+  browser::BrowserConfig bc;
+  const auto analysis = core::analyze_critical(site, bc);
+  ASSERT_FALSE(analysis.critical_css_text.empty());
+  EXPECT_LT(analysis.critical_css_text.size(), analysis.original_css_bytes);
+  ASSERT_EQ(analysis.fonts.size(), 1u);
+  EXPECT_NE(analysis.fonts[0].find("brand.woff2"), std::string::npos);
+  ASSERT_EQ(analysis.blocking_js.size(), 1u);
+  ASSERT_EQ(analysis.af_images.size(), 1u);
+}
+
+TEST(Integration, OptimizedSiteLoadsAndInterleavingWorks) {
+  auto site = web::build_site(small_plan());
+  browser::BrowserConfig bc;
+  core::RunConfig cfg;
+  const auto order = core::compute_push_order(site, cfg, 5);
+  const auto arms = core::make_fig6_arms(site, bc, order.order);
+  for (const auto& arm : arms.arms()) {
+    const auto result = core::run_page_load(*arm.site, arm.strategy, cfg);
+    EXPECT_TRUE(result.complete) << arm.name;
+    EXPECT_GT(result.speed_index_ms, 0.0) << arm.name;
+  }
+}
+
+TEST(Integration, RelocatedSiteServesEverythingFromOneServer) {
+  auto site = web::build_site(multi_origin_plan());
+  const auto relocated = web::relocate_single_server(site);
+  EXPECT_EQ(relocated.origins.server_count(), 1u);
+  EXPECT_EQ(web::pushable_urls(relocated).size(),
+            relocated.plan.resources.size());
+  core::RunConfig cfg;
+  const auto result = core::run_page_load(relocated, core::no_push(), cfg);
+  ASSERT_TRUE(result.complete);
+}
+
+}  // namespace
+}  // namespace h2push

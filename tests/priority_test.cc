@@ -1,0 +1,183 @@
+// Priority tree tests: RFC 7540 §5.3 semantics (exclusive insertion,
+// reprioritization incl. the descendant rule, removal) and the scheduling
+// properties the paper's mechanisms rely on: parent-before-children (h2o)
+// and weighted fairness among siblings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "h2/priority.h"
+#include "util/rng.h"
+
+namespace h2push::h2 {
+namespace {
+
+TEST(PriorityTree, DefaultInsertUnderRoot) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  tree.add(3, PrioritySpec{});
+  EXPECT_EQ(tree.parent_of(1), 0u);
+  EXPECT_EQ(tree.parent_of(3), 0u);
+  EXPECT_EQ(tree.children_of(0), (std::vector<std::uint32_t>{1, 3}));
+}
+
+TEST(PriorityTree, ExclusiveInsertAdoptsChildren) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  tree.add(3, PrioritySpec{});
+  tree.add(5, PrioritySpec{0, 16, true});  // exclusive under root
+  EXPECT_EQ(tree.parent_of(5), 0u);
+  EXPECT_EQ(tree.parent_of(1), 5u);
+  EXPECT_EQ(tree.parent_of(3), 5u);
+  EXPECT_EQ(tree.children_of(0), (std::vector<std::uint32_t>{5}));
+}
+
+TEST(PriorityTree, DependencyOnUnknownStreamCreatesPlaceholder) {
+  PriorityTree tree;
+  tree.add(7, PrioritySpec{99, 16, false});
+  EXPECT_TRUE(tree.contains(99));
+  EXPECT_EQ(tree.parent_of(7), 99u);
+  EXPECT_EQ(tree.parent_of(99), 0u);
+}
+
+TEST(PriorityTree, ReprioritizeMovesSubtree) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  tree.add(3, PrioritySpec{1, 16, false});
+  tree.add(5, PrioritySpec{3, 16, false});
+  tree.reprioritize(3, PrioritySpec{0, 32, false});
+  EXPECT_EQ(tree.parent_of(3), 0u);
+  EXPECT_EQ(tree.parent_of(5), 3u);  // subtree moves together
+  EXPECT_EQ(tree.weight_of(3), 32);
+}
+
+TEST(PriorityTree, ReprioritizeUnderOwnDescendant) {
+  // §5.3.3: moving a stream under its own descendant first moves the
+  // descendant to the stream's old parent.
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  tree.add(3, PrioritySpec{1, 16, false});
+  tree.add(5, PrioritySpec{3, 16, false});
+  tree.reprioritize(1, PrioritySpec{5, 16, false});
+  EXPECT_EQ(tree.parent_of(5), 0u);  // old parent of 1
+  EXPECT_EQ(tree.parent_of(1), 5u);
+  EXPECT_EQ(tree.parent_of(3), 1u);
+  EXPECT_FALSE(tree.is_ancestor(1, 5));
+  EXPECT_TRUE(tree.is_ancestor(5, 1));
+}
+
+TEST(PriorityTree, RemoveReparentsChildren) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  tree.add(3, PrioritySpec{1, 16, false});
+  tree.add(5, PrioritySpec{1, 16, false});
+  tree.remove(1);
+  EXPECT_FALSE(tree.contains(1));
+  EXPECT_EQ(tree.parent_of(3), 0u);
+  EXPECT_EQ(tree.parent_of(5), 0u);
+}
+
+TEST(PriorityTree, PickReturnsZeroWhenNothingReady) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  EXPECT_EQ(tree.pick([](std::uint32_t) { return false; }), 0u);
+}
+
+TEST(PriorityTree, ParentServedBeforeChildren) {
+  // h2o's rule that motivates interleaving push: as long as the parent has
+  // data, its children (pushed streams) wait (paper Fig. 5a).
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  tree.add(2, PrioritySpec{1, 16, false});  // pushed child
+  const auto ready = [](std::uint32_t) { return true; };
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(tree.pick(ready), 1u);
+  // Parent exhausted → child gets picked.
+  const auto only_child = [](std::uint32_t id) { return id == 2; };
+  EXPECT_EQ(tree.pick(only_child), 2u);
+}
+
+TEST(PriorityTree, WeightedFairnessAmongSiblings) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{0, 200, false});
+  tree.add(3, PrioritySpec{0, 50, false});
+  std::map<std::uint32_t, int> picks;
+  const auto ready = [](std::uint32_t id) { return id != 0; };
+  for (int i = 0; i < 1000; ++i) picks[tree.pick(ready)]++;
+  // Shares proportional to weights (200:50 = 4:1), within 10 %.
+  EXPECT_NEAR(static_cast<double>(picks[1]) / 1000.0, 0.8, 0.1);
+  EXPECT_NEAR(static_cast<double>(picks[3]) / 1000.0, 0.2, 0.1);
+}
+
+TEST(PriorityTree, DeepChainServedTopDown) {
+  // Chromium's exclusive chain: each stream depends on the previous one.
+  PriorityTree tree;
+  std::uint32_t prev = 0;
+  for (std::uint32_t id = 1; id <= 19; id += 2) {
+    tree.add(id, PrioritySpec{prev, 256, true});
+    prev = id;
+  }
+  std::set<std::uint32_t> done;
+  const auto ready = [&done](std::uint32_t id) { return !done.count(id); };
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 10; ++i) {
+    const auto id = tree.pick(ready);
+    order.push_back(id);
+    done.insert(id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 3, 5, 7, 9, 11, 13, 15,
+                                               17, 19}));
+}
+
+TEST(PriorityTree, SkipsBlockedSubtreesEntirely) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{});
+  tree.add(3, PrioritySpec{1, 16, false});
+  tree.add(5, PrioritySpec{});  // sibling subtree of 1
+  const auto only5 = [](std::uint32_t id) { return id == 5; };
+  EXPECT_EQ(tree.pick(only5), 5u);
+}
+
+TEST(PriorityTree, ZeroWeightTreatedAsDefault) {
+  PriorityTree tree;
+  tree.add(1, PrioritySpec{0, 0, false});
+  EXPECT_EQ(tree.weight_of(1), 16);
+}
+
+TEST(PriorityTree, PickIsExhaustiveUnderChurn) {
+  // Property: with random adds/removes, pick always returns a ready stream
+  // when one exists.
+  PriorityTree tree;
+  std::set<std::uint32_t> live;
+  std::uint64_t state = 42;
+  for (int step = 0; step < 500; ++step) {
+    const std::uint64_t r = util::splitmix64(state);
+    if (live.size() < 3 || (r % 3) != 0) {
+      const std::uint32_t id = 1 + 2 * static_cast<std::uint32_t>(step);
+      std::uint32_t parent = 0;
+      if (!live.empty() && (r % 2) == 0) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(r % live.size()));
+        parent = *it;
+      }
+      tree.add(id, PrioritySpec{parent, static_cast<std::uint16_t>(
+                                            1 + r % 256),
+                                (r & 4) != 0});
+      live.insert(id);
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(r % live.size()));
+      tree.remove(*it);
+      live.erase(it);
+    }
+    if (!live.empty()) {
+      const auto picked =
+          tree.pick([&live](std::uint32_t id) { return live.count(id) > 0; });
+      EXPECT_NE(picked, 0u);
+      EXPECT_TRUE(live.count(picked) > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace h2push::h2

@@ -1,0 +1,256 @@
+// Behavioural tests for the rendering pipeline, driven through the full
+// testbed so every semantic travels the real protocol path: render-blocking
+// CSS, script/CSSOM ordering, async scripts, hidden fonts, script-injected
+// resources, the preload scanner, and the paint model.
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "web/site.h"
+
+namespace h2push::browser {
+namespace {
+
+using web::PagePlan;
+using web::ResourcePlan;
+using Placement = web::ResourcePlan::Placement;
+
+PagePlan base_plan(const std::string& name) {
+  PagePlan plan;
+  plan.name = name;
+  plan.primary_host = "www." + name + ".test";
+  plan.html_size = 16 * 1024;
+  plan.text_blocks = 10;
+  plan.host_ip[plan.primary_host] = "10.0.0.1";
+  return plan;
+}
+
+ResourcePlan make_resource(const PagePlan& plan, const char* path,
+                           http::ResourceType type, std::size_t kb,
+                           Placement placement) {
+  ResourcePlan r;
+  r.path = path;
+  r.host = plan.primary_host;
+  r.type = type;
+  r.size = kb * 1024;
+  r.placement = placement;
+  return r;
+}
+
+core::RunConfig config() { return core::RunConfig{}; }
+
+double complete_time(const browser::PageLoadResult& result,
+                     const std::string& needle) {
+  for (const auto& r : result.resources) {
+    if (r.url.find(needle) != std::string::npos) return r.t_complete_ms;
+  }
+  return -1;
+}
+
+double init_time(const browser::PageLoadResult& result,
+                 const std::string& needle) {
+  for (const auto& r : result.resources) {
+    if (r.url.find(needle) != std::string::npos) return r.t_initiated_ms;
+  }
+  return -1;
+}
+
+TEST(RenderBehavior, RenderBlockingCssGatesFirstPaint) {
+  auto plan = base_plan("gate");
+  plan.resources.push_back(make_resource(
+      plan, "/slow.css", http::ResourceType::kCss, 60, Placement::kHead));
+  const auto site = web::build_site(plan);
+  const auto result = core::run_page_load(site, core::no_push(), config());
+  ASSERT_TRUE(result.complete);
+  // Nothing paints before the stylesheet completes.
+  EXPECT_GE(result.first_paint_ms, complete_time(result, "slow.css"));
+}
+
+TEST(RenderBehavior, NoCssPaintsFromFirstChunks) {
+  auto plan = base_plan("fastpaint");
+  const auto site = web::build_site(plan);
+  const auto result = core::run_page_load(site, core::no_push(), config());
+  ASSERT_TRUE(result.complete);
+  // HTML-only page: first paint well before the full document is parsed.
+  EXPECT_LT(result.first_paint_ms, result.plt_ms);
+  EXPECT_GT(result.first_paint_ms, 0);
+}
+
+TEST(RenderBehavior, PreloadScannerDiscoversEarly) {
+  // A stylesheet referenced in <head> of a large HTML must be requested
+  // after the first chunks arrive, not after the document finishes.
+  auto plan = base_plan("scanner");
+  plan.html_size = 120 * 1024;
+  plan.resources.push_back(make_resource(
+      plan, "/early.css", http::ResourceType::kCss, 10, Placement::kHead));
+  const auto site = web::build_site(plan);
+  const auto result = core::run_page_load(site, core::no_push(), config());
+  const double html_done = complete_time(result, site.main_url.str());
+  const double css_requested = init_time(result, "early.css");
+  EXPECT_LT(css_requested, html_done * 0.6)
+      << "scanner should fire long before the HTML completes";
+}
+
+TEST(RenderBehavior, HiddenFontDiscoveredOnlyAfterCss) {
+  auto plan = base_plan("hiddenfont");
+  plan.resources.push_back(make_resource(
+      plan, "/m.css", http::ResourceType::kCss, 20, Placement::kHead));
+  auto font = make_resource(plan, "/f.woff2", http::ResourceType::kFont, 15,
+                            Placement::kFromCss);
+  font.css_parent = "/m.css";
+  font.font_family = "ff";
+  font.above_fold = true;
+  plan.resources.push_back(font);
+  const auto site = web::build_site(plan);
+  const auto result = core::run_page_load(site, core::no_push(), config());
+  EXPECT_GT(init_time(result, "f.woff2"), complete_time(result, "m.css"));
+}
+
+TEST(RenderBehavior, PushRevealsHiddenFontEarlier) {
+  auto plan = base_plan("pushfont");
+  plan.resources.push_back(make_resource(
+      plan, "/m.css", http::ResourceType::kCss, 20, Placement::kHead));
+  auto font = make_resource(plan, "/f.woff2", http::ResourceType::kFont, 30,
+                            Placement::kFromCss);
+  font.css_parent = "/m.css";
+  font.font_family = "ff";
+  font.above_fold = true;
+  plan.resources.push_back(font);
+  const auto site = web::build_site(plan);
+  const auto nopush = core::run_page_load(site, core::no_push(), config());
+  const auto push = core::run_page_load(
+      site,
+      core::push_list("f", {"https://www.pushfont.test/m.css",
+                            "https://www.pushfont.test/f.woff2"}),
+      config());
+  EXPECT_LT(complete_time(push, "f.woff2"),
+            complete_time(nopush, "f.woff2"));
+}
+
+TEST(RenderBehavior, SyncScriptDelaysParseCompletion) {
+  auto fast = base_plan("fastjs");
+  auto slow = base_plan("slowjs");
+  auto js = make_resource(fast, "/a.js", http::ResourceType::kJs, 10,
+                          Placement::kBodyMiddle);
+  fast.resources.push_back(js);
+  auto heavy = js;
+  heavy.exec_cost_ms = 400;
+  slow.resources.push_back(heavy);
+  const auto r_fast =
+      core::run_page_load(web::build_site(fast), core::no_push(), config());
+  const auto r_slow =
+      core::run_page_load(web::build_site(slow), core::no_push(), config());
+  ASSERT_TRUE(r_fast.complete);
+  ASSERT_TRUE(r_slow.complete);
+  EXPECT_GT(r_slow.dom_content_loaded_ms,
+            r_fast.dom_content_loaded_ms + 350);
+}
+
+TEST(RenderBehavior, AsyncScriptDoesNotBlockParsing) {
+  auto plan = base_plan("asyncjs");
+  auto js = make_resource(plan, "/a.js", http::ResourceType::kJs, 10,
+                          Placement::kBodyMiddle);
+  js.async = true;
+  js.exec_cost_ms = 400;
+  plan.resources.push_back(js);
+  const auto baseline =
+      core::run_page_load(web::build_site(base_plan("asyncjs")),
+                          core::no_push(), config());
+  const auto result =
+      core::run_page_load(web::build_site(plan), core::no_push(), config());
+  // DOMContentLoaded is barely affected by a heavy async script.
+  EXPECT_LT(result.dom_content_loaded_ms,
+            baseline.dom_content_loaded_ms + 150);
+  // ...but onload still waits for it.
+  EXPECT_GT(result.plt_ms, complete_time(result, "a.js") - 1);
+}
+
+TEST(RenderBehavior, ScriptInjectedResourcesExtendOnload) {
+  auto plan = base_plan("inject");
+  auto js = make_resource(plan, "/app.js", http::ResourceType::kJs, 10,
+                          Placement::kBodyMiddle);
+  plan.resources.push_back(js);
+  auto xhr = make_resource(plan, "/api/data.json", http::ResourceType::kXhr,
+                           25, Placement::kScriptInjected);
+  xhr.injector = "/app.js";
+  plan.resources.push_back(xhr);
+  const auto site = web::build_site(plan);
+  const auto result = core::run_page_load(site, core::no_push(), config());
+  ASSERT_TRUE(result.complete);
+  const double injected_init = init_time(result, "data.json");
+  EXPECT_GT(injected_init, complete_time(result, "app.js") - 1);
+  EXPECT_GE(result.plt_ms, complete_time(result, "data.json") - 1);
+}
+
+TEST(RenderBehavior, AboveFoldImageAffectsSpeedIndexBelowFoldDoesNot) {
+  auto af = base_plan("afimg");
+  auto bf = base_plan("bfimg");
+  auto hero = make_resource(af, "/hero.jpg", http::ResourceType::kImage, 150,
+                            Placement::kBodyEarly);
+  hero.above_fold = true;
+  hero.display_height = 300;
+  af.resources.push_back(hero);
+  auto deep = make_resource(bf, "/deep.jpg", http::ResourceType::kImage, 150,
+                            Placement::kBodyLate);
+  deep.display_height = 300;
+  bf.resources.push_back(deep);
+  const auto r_af =
+      core::run_page_load(web::build_site(af), core::no_push(), config());
+  const auto r_bf =
+      core::run_page_load(web::build_site(bf), core::no_push(), config());
+  // The above-fold image keeps visual progress open much longer.
+  EXPECT_GT(r_af.last_visual_change_ms, r_bf.last_visual_change_ms + 30);
+  // PLT waits for the image either way.
+  EXPECT_GT(r_bf.plt_ms, complete_time(r_bf, "deep.jpg") - 1);
+}
+
+TEST(RenderBehavior, VcCurveIsMonotoneAndEndsAtOne) {
+  auto plan = base_plan("curve");
+  auto hero = make_resource(plan, "/h.jpg", http::ResourceType::kImage, 60,
+                            Placement::kBodyEarly);
+  hero.above_fold = true;
+  plan.resources.push_back(hero);
+  const auto site = web::build_site(plan);
+  const auto result = core::run_page_load(site, core::no_push(), config());
+  ASSERT_FALSE(result.vc_curve.empty());
+  double prev_t = -1, prev_c = -1;
+  for (const auto& [t, c] : result.vc_curve) {
+    EXPECT_GE(t, prev_t);
+    EXPECT_GE(c, prev_c);
+    prev_t = t;
+    prev_c = c;
+  }
+  EXPECT_NEAR(result.vc_curve.back().second, 1.0, 1e-9);
+}
+
+TEST(RenderBehavior, InlineCssUnblocksPaintWithoutNetwork) {
+  auto blocking = base_plan("extcss");
+  blocking.resources.push_back(make_resource(
+      blocking, "/big.css", http::ResourceType::kCss, 80, Placement::kHead));
+  auto inline_plan = base_plan("inlcss");
+  inline_plan.inline_css_fraction = 0.15;
+  const auto r_ext = core::run_page_load(web::build_site(blocking),
+                                         core::no_push(), config());
+  const auto r_inl = core::run_page_load(web::build_site(inline_plan),
+                                         core::no_push(), config());
+  EXPECT_LT(r_inl.first_paint_ms + 20, r_ext.first_paint_ms);
+}
+
+TEST(RenderBehavior, PltCoversAllSubresources) {
+  auto plan = base_plan("plt");
+  for (int i = 0; i < 5; ++i) {
+    plan.resources.push_back(make_resource(
+        plan, ("/i" + std::to_string(i) + ".png").c_str(),
+        http::ResourceType::kImage, 20, Placement::kBodyMiddle));
+  }
+  const auto site = web::build_site(plan);
+  const auto result = core::run_page_load(site, core::no_push(), config());
+  ASSERT_TRUE(result.complete);
+  for (const auto& r : result.resources) {
+    if (!r.adopted) continue;
+    EXPECT_GE(result.plt_ms, r.t_complete_ms - 1) << r.url;
+  }
+}
+
+}  // namespace
+}  // namespace h2push::browser

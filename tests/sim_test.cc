@@ -1,0 +1,317 @@
+// Simulator, link, and TCP model tests: event ordering, cancellation,
+// serialization/queueing arithmetic, handshake timing, slow start, loss
+// recovery (content-verified), and determinism.
+#include <gtest/gtest.h>
+
+#include "sim/conditions.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "sim/tcp.h"
+
+namespace h2push::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(from_ms(30), [&] { order.push_back(3); });
+  sim.schedule_at(from_ms(10), [&] { order.push_back(1); });
+  sim.schedule_at(from_ms(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), from_ms(30));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(from_ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_in(from_ms(10), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelInvalidIsNoop) {
+  Simulator sim;
+  sim.cancel(kInvalidEvent);
+  sim.cancel(123456);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsScheduledInPastClampToNow) {
+  Simulator sim;
+  sim.schedule_at(from_ms(10), [&] {
+    bool ran = false;
+    sim.schedule_at(from_ms(5), [&] { ran = true; });
+    EXPECT_FALSE(ran);
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), from_ms(10));
+}
+
+TEST(Simulator, RunRespectsDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(from_ms(10), [&] { ++count; });
+  sim.schedule_at(from_ms(100), [&] { ++count; });
+  sim.run(from_ms(50));
+  EXPECT_EQ(count, 1);
+}
+
+// -------------------------------------------------------------------- link
+
+TEST(Link, SerializationDelayMatchesRate) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1 byte/us
+  cfg.prop_delay = from_ms(10);
+  Link link(sim, cfg, util::Rng(1));
+  Time delivered_at = -1;
+  link.transmit(1000, 0, [&] { delivered_at = sim.now(); });
+  sim.run();
+  // 1000 bytes at 1 B/us = 1 ms serialization + 10 ms propagation.
+  EXPECT_EQ(delivered_at, from_ms(11));
+}
+
+TEST(Link, BackToBackPacketsQueue) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  Link link(sim, cfg, util::Rng(1));
+  std::vector<Time> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    link.transmit(1000, 0, [&] { deliveries.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], from_ms(1));
+  EXPECT_EQ(deliveries[1], from_ms(2));
+  EXPECT_EQ(deliveries[2], from_ms(3));
+}
+
+TEST(Link, DropsWhenQueueFull) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e6;
+  cfg.queue_capacity = 2500;
+  Link link(sim, cfg, util::Rng(1));
+  int delivered = 0;
+  EXPECT_TRUE(link.transmit(1500, 0, [&] { ++delivered; }));
+  EXPECT_TRUE(link.transmit(1000, 0, [&] { ++delivered; }));
+  EXPECT_FALSE(link.transmit(1500, 0, [&] { ++delivered; }));  // over cap
+  EXPECT_EQ(link.dropped_packets(), 1u);
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.queued_bytes(), 0u);
+}
+
+TEST(Link, ExtraDelayAddsToPropagation) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.prop_delay = from_ms(2);
+  Link link(sim, cfg, util::Rng(1));
+  Time at = 0;
+  Route route{&link, from_ms(23)};
+  route.transmit(1000, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(at, from_ms(1 + 2 + 23));
+}
+
+// --------------------------------------------------------------------- tcp
+
+struct TcpHarness {
+  Simulator sim;
+  Link down, up;
+  std::unique_ptr<TcpConnection> tcp;
+  std::size_t client_received = 0;
+  std::size_t server_received = 0;
+  bool mismatch = false;
+  Time connected_at = -1;
+  Time accepted_at = -1;
+
+  static LinkConfig link_config(double rate, std::size_t queue_bytes,
+                                double loss) {
+    LinkConfig cfg;
+    cfg.rate_bps = rate;
+    cfg.prop_delay = from_ms(2);
+    cfg.queue_capacity = queue_bytes;
+    cfg.random_loss = loss;
+    return cfg;
+  }
+
+  explicit TcpHarness(double loss = 0.0, std::uint64_t seed = 1,
+                      std::size_t queue = 1000 * 1500)
+      : down(sim, link_config(16e6, queue, loss), util::Rng(seed)),
+        up(sim, link_config(1e6, queue, loss), util::Rng(seed ^ 1)) {
+    TcpConnection::Callbacks cb;
+    cb.on_connected = [this] { connected_at = sim.now(); };
+    cb.on_accepted = [this] { accepted_at = sim.now(); };
+    cb.on_receive = [this](TcpConnection::Side side,
+                           std::span<const std::uint8_t> data) {
+      if (side == TcpConnection::Side::kClient) {
+        for (const auto byte : data) {
+          if (byte != static_cast<std::uint8_t>(client_received % 251)) {
+            mismatch = true;
+          }
+          ++client_received;
+        }
+      } else {
+        server_received += data.size();
+      }
+    };
+    tcp = std::make_unique<TcpConnection>(
+        sim, TcpConfig{}, Route{&up, from_ms(23)}, Route{&down, from_ms(23)},
+        std::move(cb));
+  }
+
+  void send_pattern(std::size_t total) {
+    std::vector<std::uint8_t> buf(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      buf[i] = static_cast<std::uint8_t>(i % 251);
+    }
+    tcp->send(TcpConnection::Side::kServer, buf);
+  }
+};
+
+TEST(Tcp, HandshakeTakesTcpPlusTlsRoundTrips) {
+  TcpHarness h;
+  h.tcp->connect();
+  h.sim.run();
+  // 3 round trips (TCP + 2x TLS) at 50 ms RTT plus serialization.
+  EXPECT_GT(h.connected_at, from_ms(145));
+  EXPECT_LT(h.connected_at, from_ms(185));
+  // Server accepts half an RTT before the client connects.
+  EXPECT_LT(h.accepted_at, h.connected_at);
+}
+
+TEST(Tcp, DeliversOrderedContent) {
+  TcpHarness h;
+  h.tcp->connect();
+  h.sim.run();
+  h.send_pattern(300000);
+  h.sim.run();
+  EXPECT_EQ(h.client_received, 300000u);
+  EXPECT_FALSE(h.mismatch);
+  EXPECT_EQ(h.tcp->retransmissions(), 0u);
+}
+
+TEST(Tcp, SlowStartLimitsFirstRoundTrip) {
+  TcpHarness h;
+  h.tcp->connect();
+  h.sim.run();
+  h.send_pattern(100000);
+  // After ~1 RTT only about IW10 = 14.6 KB can have arrived.
+  h.sim.run(h.connected_at + from_ms(60));
+  EXPECT_LE(h.client_received, 16 * 1460u);
+  EXPECT_GT(h.client_received, 0u);
+  h.sim.run();
+  EXPECT_EQ(h.client_received, 100000u);
+}
+
+TEST(Tcp, ThroughputApproachesLinkRate) {
+  TcpHarness h;
+  h.tcp->connect();
+  h.sim.run();
+  const Time start = h.sim.now();
+  h.send_pattern(2'000'000);
+  h.sim.run();
+  const double seconds = static_cast<double>(h.sim.now() - start) /
+                         static_cast<double>(kSecond);
+  const double mbps = 2'000'000 * 8.0 / seconds / 1e6;
+  EXPECT_GT(mbps, 10.0);  // 16 Mbit/s link, minus slow start and overhead
+}
+
+class TcpLossRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcpLossRecovery, RecoversContentUnderHeavyLoss) {
+  TcpHarness h(/*loss=*/0.05, /*seed=*/GetParam(), /*queue=*/64 * 1024);
+  h.tcp->connect();
+  h.sim.run(from_seconds(60));
+  ASSERT_GE(h.connected_at, 0) << "handshake never completed";
+  h.send_pattern(200000);
+  h.sim.run(from_seconds(120));
+  EXPECT_EQ(h.client_received, 200000u);
+  EXPECT_FALSE(h.mismatch);
+  EXPECT_GT(h.tcp->retransmissions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpLossRecovery,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Tcp, UplinkIsSlower) {
+  TcpHarness h;
+  h.tcp->connect();
+  h.sim.run();
+  std::vector<std::uint8_t> upload(100000, 'u');
+  const Time start = h.sim.now();
+  h.tcp->send(TcpConnection::Side::kClient, upload);
+  h.sim.run();
+  const double seconds = static_cast<double>(h.sim.now() - start) /
+                         static_cast<double>(kSecond);
+  // 100 KB at 1 Mbit/s ≈ 0.8 s minimum.
+  EXPECT_GT(seconds, 0.7);
+  EXPECT_EQ(h.server_received, 100000u);
+}
+
+TEST(Tcp, WritableSignalFiresOnDrain) {
+  TcpHarness h;
+  int writable_signals = 0;
+  // Rebuild with a writable callback.
+  TcpConnection::Callbacks cb;
+  cb.on_connected = [&h] { h.connected_at = h.sim.now(); };
+  cb.on_receive = [](TcpConnection::Side, std::span<const std::uint8_t>) {};
+  cb.on_writable = [&writable_signals](TcpConnection::Side side) {
+    if (side == TcpConnection::Side::kServer) ++writable_signals;
+  };
+  TcpConnection tcp(h.sim, TcpConfig{}, Route{&h.up, from_ms(23)},
+                    Route{&h.down, from_ms(23)}, std::move(cb));
+  tcp.connect();
+  h.sim.run();
+  std::vector<std::uint8_t> big(100000, 'x');
+  tcp.send(TcpConnection::Side::kServer, big);
+  EXPECT_FALSE(tcp.writable(TcpConnection::Side::kServer));
+  h.sim.run();
+  EXPECT_TRUE(tcp.writable(TcpConnection::Side::kServer));
+  EXPECT_GT(writable_signals, 0);
+}
+
+// ------------------------------------------------------------- conditions
+
+TEST(Conditions, TestbedIsDeterministic) {
+  const auto cond = NetworkConditions::testbed();
+  util::Rng rng(5);
+  const auto s1 = sample_conditions(cond, rng);
+  const auto s2 = sample_conditions(cond, rng);
+  EXPECT_EQ(s1.down_bps, s2.down_bps);
+  EXPECT_EQ(s1.base_rtt, s2.base_rtt);
+  EXPECT_EQ(s1.loss, 0.0);
+  util::Rng rtt_rng(9);
+  EXPECT_EQ(s1.origin_rtt(rtt_rng), from_ms(50));
+}
+
+TEST(Conditions, InternetVaries) {
+  const auto cond = NetworkConditions::internet();
+  util::Rng rng(5);
+  const auto s1 = sample_conditions(cond, rng);
+  const auto s2 = sample_conditions(cond, rng);
+  EXPECT_NE(s1.down_bps, s2.down_bps);
+  util::Rng rtt_rng(9);
+  const auto r1 = s1.origin_rtt(rtt_rng);
+  const auto r2 = s1.origin_rtt(rtt_rng);
+  EXPECT_NE(r1, r2);
+  EXPECT_GE(r1, from_ms(5));
+}
+
+}  // namespace
+}  // namespace h2push::sim

@@ -1,0 +1,163 @@
+// Statistics tests: descriptive stats, quantile/CDF behaviour, t-based
+// confidence intervals, and the majority-vote rank aggregation of §4.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "stats/rank.h"
+#include "util/rng.h"
+
+namespace h2push::stats {
+namespace {
+
+TEST(Descriptive, MeanMedianStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(mean(xs), 5.0, 1e-9);
+  EXPECT_NEAR(median(xs), 4.5, 1e-9);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_NEAR(std_error(xs), stddev(xs) / std::sqrt(8.0), 1e-9);
+}
+
+TEST(Descriptive, EmptyAndSingleInputs) {
+  const std::vector<double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(median(empty), 0.0);
+  EXPECT_EQ(stddev(empty), 0.0);
+  const std::vector<double> one{3.5};
+  EXPECT_EQ(mean(one), 3.5);
+  EXPECT_EQ(median(one), 3.5);
+  EXPECT_EQ(stddev(one), 0.0);
+  EXPECT_EQ(ci_half_width(one, 0.95), 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_NEAR(quantile(xs, 0.0), 10, 1e-9);
+  EXPECT_NEAR(quantile(xs, 0.25), 20, 1e-9);
+  EXPECT_NEAR(quantile(xs, 0.5), 30, 1e-9);
+  EXPECT_NEAR(quantile(xs, 0.9), 46, 1e-9);
+  EXPECT_NEAR(quantile(xs, 1.0), 50, 1e-9);
+}
+
+TEST(Descriptive, NormalQuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-4);
+}
+
+TEST(Descriptive, StudentTQuantileMatchesTables) {
+  // t_{0.975, 30} = 2.042; t_{0.975, 10} = 2.228; t_{0.9975, 30} = 3.030.
+  EXPECT_NEAR(student_t_quantile(0.975, 30), 2.042, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.975, 10), 2.228, 0.02);
+  EXPECT_NEAR(student_t_quantile(0.9975, 30), 3.030, 0.03);
+}
+
+TEST(Descriptive, CiHalfWidthMatchesManualComputation) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 31; ++i) xs.push_back(static_cast<double>(i));
+  const double ci = ci_half_width(xs, 0.95);
+  const double expected = student_t_quantile(0.975, 30) * std_error(xs);
+  EXPECT_NEAR(ci, expected, 1e-9);
+  EXPECT_GT(ci_half_width(xs, 0.995), ci);  // wider at higher confidence
+}
+
+TEST(Descriptive, SummarizeAggregates) {
+  const std::vector<double> xs{1, 2, 3, 4, 100};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_NEAR(s.mean, 22.0, 1e-9);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_EQ(s.median, 3.0);
+}
+
+TEST(Cdf, FractionBelowAndValueAt) {
+  Cdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) cdf.add(x);
+  EXPECT_NEAR(cdf.fraction_below(3.0), 0.6, 1e-9);
+  EXPECT_NEAR(cdf.fraction_below(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(cdf.fraction_below(10.0), 1.0, 1e-9);
+  EXPECT_NEAR(cdf.value_at(0.5), 3.0, 1e-9);
+  EXPECT_NEAR(cdf.value_at(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(cdf.value_at(1.0), 5.0, 1e-9);
+}
+
+TEST(Cdf, StaysSortedAfterInterleavedAdds) {
+  Cdf cdf;
+  cdf.add(5);
+  EXPECT_NEAR(cdf.value_at(1.0), 5.0, 1e-9);
+  cdf.add(1);
+  cdf.add(3);
+  EXPECT_NEAR(cdf.value_at(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(cdf.value_at(0.5), 3.0, 1e-9);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  util::Rng rng(11);
+  Cdf cdf;
+  for (int i = 0; i < 200; ++i) cdf.add(rng.normal(100, 30));
+  const auto curve = cdf.curve(21);
+  ASSERT_EQ(curve.size(), 21u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(Rank, UnanimousOrderIsPreserved) {
+  const std::vector<std::vector<std::uint32_t>> runs(5, {3, 1, 4, 0, 2});
+  EXPECT_EQ(aggregate_order(runs),
+            (std::vector<std::uint32_t>{3, 1, 4, 0, 2}));
+}
+
+TEST(Rank, MajorityWinsOverMinority) {
+  std::vector<std::vector<std::uint32_t>> runs;
+  for (int i = 0; i < 7; ++i) runs.push_back({0, 1, 2});
+  for (int i = 0; i < 3; ++i) runs.push_back({2, 1, 0});
+  EXPECT_EQ(aggregate_order(runs), (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Rank, WeaklySupportedItemsAreDropped) {
+  // Item 9 appears in only 1 of 5 runs (a dynamic resource): dropped.
+  std::vector<std::vector<std::uint32_t>> runs(4, {0, 1});
+  runs.push_back({0, 9, 1});
+  const auto order = aggregate_order(runs, 0.5);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Rank, TiesBreakById) {
+  // Two items always swap positions: equal median rank → lower id first.
+  std::vector<std::vector<std::uint32_t>> runs;
+  runs.push_back({5, 7});
+  runs.push_back({7, 5});
+  runs.push_back({5, 7});
+  runs.push_back({7, 5});
+  const auto order = aggregate_order(runs);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{5, 7}));
+}
+
+TEST(Rank, EmptyInput) {
+  EXPECT_TRUE(aggregate_order({}).empty());
+}
+
+TEST(Rank, NoisyOrdersConvergeToTruth) {
+  // Property: with pairwise adjacent swaps at 20 % noise, aggregation
+  // recovers the true order.
+  util::Rng rng(555);
+  const std::vector<std::uint32_t> truth{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::vector<std::uint32_t>> runs;
+  for (int r = 0; r < 31; ++r) {
+    auto run = truth;
+    for (std::size_t i = 0; i + 1 < run.size(); ++i) {
+      if (rng.bernoulli(0.2)) std::swap(run[i], run[i + 1]);
+    }
+    runs.push_back(std::move(run));
+  }
+  EXPECT_EQ(aggregate_order(runs), truth);
+}
+
+}  // namespace
+}  // namespace h2push::stats
