@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const auto sites = web::generate_population(profile, n_sites, 0xF2B);
 
   stats::Cdf delta_plt, delta_si;
+  std::vector<double> push_plt_medians, push_si_medians;
   for (const auto& site : sites) {
     core::RunConfig cfg;
     const auto push = core::collect(
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
         core::run_repeated(site, core::no_push(), cfg, runs));
     delta_plt.add(push.plt_median() - nopush.plt_median());
     delta_si.add(push.si_median() - nopush.si_median());
+    push_plt_medians.push_back(push.plt_median());
+    push_si_medians.push_back(push.si_median());
   }
 
   std::printf("%-22s %12s %12s\n", "", "dPLT [ms]", "dSI [ms]");
@@ -44,5 +47,20 @@ int main(int argc, char** argv) {
               100 * (1 - delta_si.fraction_below(-1e-9)));
   std::printf("paper: no benefit for 49%% (PLT) / 35%% (SI) of sites\n");
   std::printf("elapsed: %.1fs\n", watch.seconds());
+
+  bench::BenchReport report;
+  report.name = "fig2b_push_vs_nopush";
+  report.runs = runs;
+  report.median_plt_ms = stats::median(push_plt_medians);
+  report.median_si_ms = stats::median(push_si_medians);
+  report.elapsed_s = watch.seconds();
+  report.extra["delta_plt_p50_ms"] = delta_plt.value_at(0.5);
+  report.extra["delta_si_p50_ms"] = delta_si.value_at(0.5);
+  report.extra["no_benefit_plt_pct"] =
+      100 * (1 - delta_plt.fraction_below(-1e-9));
+  report.extra["no_benefit_si_pct"] =
+      100 * (1 - delta_si.fraction_below(-1e-9));
+  report.extra["sites"] = static_cast<double>(sites.size());
+  bench::write_report(report);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 namespace h2push::bench {
@@ -40,5 +41,56 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// `git describe --always --dirty` of the checkout the harness ran from,
+/// or "unknown" outside a git work tree.
+inline std::string git_describe() {
+  std::string out = "unknown";
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return out;
+  char buf[128] = {0};
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!line.empty()) out = line;
+  }
+  ::pclose(pipe);
+  return out;
+}
+
+/// Headline numbers of one harness run, serialized to BENCH_<name>.json in
+/// the working directory so successive checkouts can be diffed
+/// machine-readably (EXPERIMENTS.md keeps the human-readable history).
+struct BenchReport {
+  std::string name;                     ///< file suffix, e.g. "fig5"
+  int runs = 0;                         ///< page loads per point
+  double median_plt_ms = 0;
+  double median_si_ms = 0;
+  double elapsed_s = 0;
+  std::map<std::string, double> extra;  ///< additional named series points
+};
+
+inline void write_report(const BenchReport& report) {
+  const std::string path = "BENCH_" + report.name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n", report.name.c_str());
+  std::fprintf(f, "  \"git\": \"%s\",\n", git_describe().c_str());
+  std::fprintf(f, "  \"runs\": %d,\n", report.runs);
+  std::fprintf(f, "  \"median_plt_ms\": %.3f,\n", report.median_plt_ms);
+  std::fprintf(f, "  \"median_si_ms\": %.3f,\n", report.median_si_ms);
+  std::fprintf(f, "  \"elapsed_s\": %.3f", report.elapsed_s);
+  for (const auto& [key, value] : report.extra) {
+    std::fprintf(f, ",\n  \"%s\": %.3f", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("report: %s\n", path.c_str());
+}
 
 }  // namespace h2push::bench

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build + test pass, then the same test suite
+# under AddressSanitizer + UndefinedBehaviorSanitizer (separate build dir —
+# sanitized objects are not ABI-compatible with the plain build).
+#
+#   scripts/check.sh            # tier-1 + ASan/UBSan
+#   scripts/check.sh --fast     # tier-1 only
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "=== tier-1: configure + build + ctest (build/) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "=== OK (fast mode: sanitizer pass skipped) ==="
+  exit 0
+fi
+
+echo "=== sanitizers: ASan + UBSan (build-asan/) ==="
+cmake -B build-asan -S . -DH2PUSH_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$jobs"
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== OK ==="

@@ -7,6 +7,10 @@
 
 #include "sim/time.h"
 
+namespace h2push::trace {
+class TraceRecorder;
+}
+
 namespace h2push::browser {
 
 struct BrowserConfig {
@@ -60,6 +64,12 @@ struct BrowserConfig {
 
   /// Give up on a page after this much simulated time.
   sim::Time load_deadline = sim::from_seconds(120);
+
+  /// Optional cross-layer trace recorder (null = tracing disabled); browser
+  /// events — fetch lifecycle spans, parse/render marks — land on
+  /// `trace_track`.
+  trace::TraceRecorder* trace = nullptr;
+  std::uint32_t trace_track = 0;
 };
 
 }  // namespace h2push::browser

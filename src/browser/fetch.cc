@@ -5,6 +5,7 @@
 
 #include "h2/cache_digest.h"
 #include "http/url.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace h2push::browser {
@@ -95,6 +96,18 @@ FetchManager::Group& FetchManager::group_for(const std::string& host) {
     total_bytes_ += data.size();
     if (stream % 2 == 0) pushed_bytes_ += data.size();
     auto it2 = g.by_stream.find(stream);
+    if (config_.trace != nullptr) {
+      auto& s = config_.trace->summary();
+      s.bytes_total += data.size();
+      if (stream % 2 == 0) {
+        s.bytes_pushed += data.size();
+        // Pushed bytes the client had not (yet) asked for: the stream is
+        // cancelled, or the renderer has not adopted the resource.
+        if (it2 == g.by_stream.end() || !it2->second->adopted_) {
+          s.bytes_pushed_before_request += data.size();
+        }
+      }
+    }
     if (it2 == g.by_stream.end()) return;
     auto& fetch = it2->second;
     fetch->body_.append(reinterpret_cast<const char*>(data.data()),
@@ -117,6 +130,14 @@ FetchManager::Group& FetchManager::group_for(const std::string& host) {
     // Cancel if cached or already requested as a normal stream.
     if (config_.cached_urls.count(key) != 0 || by_url_.count(key) != 0) {
       ++pushes_cancelled_;
+      if (config_.trace != nullptr) {
+        config_.trace->instant(
+            config_.trace_track, "browser", "push.cancel",
+            {{"url", key},
+             {"reason", config_.cached_urls.count(key) != 0
+                            ? "cached" : "already_requested"}});
+        ++config_.trace->summary().pushes_cancelled;
+      }
       g.conn->submit_rst(promised, h2::ErrorCode::kCancel);
       return;
     }
@@ -128,6 +149,7 @@ FetchManager::Group& FetchManager::group_for(const std::string& host) {
     fetch->stream_id_ = promised;
     by_url_[key] = fetch;
     fetches_.push_back(fetch);
+    trace_fetch_begin(*fetch);
     g.by_stream[promised] = std::move(fetch);
   };
   cbs.on_write_ready = [this, &g] { pump(g); };
@@ -137,6 +159,11 @@ FetchManager::Group& FetchManager::group_for(const std::string& host) {
     g.prioritizer.on_stream_closed(stream);
   };
   g.conn = std::make_unique<h2::Connection>(cc, std::move(cbs));
+  if (config_.trace != nullptr) {
+    // Group creation order is deterministic, so so is the track layout.
+    g.conn->set_trace(config_.trace,
+                      config_.trace->register_track("h2.client." + host));
+  }
 
   g.transport->set_receiver([&g](std::span<const std::uint8_t> bytes) {
     g.conn->receive(bytes);
@@ -180,6 +207,16 @@ void FetchManager::pump(Group& g) {
   }
 }
 
+void FetchManager::trace_fetch_begin(Fetch& fetch) {
+  if (config_.trace == nullptr) return;
+  fetch.trace_id_ = fetches_.size();  // 1-based initiation order
+  config_.trace->async_begin(config_.trace_track, "browser", "fetch",
+                             fetch.trace_id_,
+                             {{"url", fetch.url_.str()},
+                              {"pushed", fetch.pushed_ ? 1 : 0},
+                              {"priority", static_cast<int>(fetch.priority_)}});
+}
+
 http::Request FetchManager::request_for(const Fetch& fetch) const {
   http::Request req;
   req.url = fetch.url_;
@@ -217,6 +254,11 @@ void FetchManager::handle_response_headers(
     int status) {
   fetch->t_headers_ = sim_.now();
   fetch->status_ = status;
+  if (config_.trace != nullptr && fetch->trace_id_ != 0) {
+    config_.trace->async_instant(config_.trace_track, "browser", "fetch",
+                                 fetch->trace_id_,
+                                 {{"mark", "first_byte"}, {"status", status}});
+  }
   fetch->type_ = http::classify(http::find_header(headers, "content-type"),
                                 fetch->url_.path);
   const auto content_length = http::find_header(headers, "content-length");
@@ -290,6 +332,9 @@ void FetchManager::h1_dispatch(Group& g) {
                                         bool fin) {
         if (!c.current) return;
         total_bytes_ += data.size();
+        if (config_.trace != nullptr) {
+          config_.trace->summary().bytes_total += data.size();
+        }
         auto fetch = c.current;
         fetch->body_.append(reinterpret_cast<const char*>(data.data()),
                             data.size());
@@ -389,11 +434,16 @@ std::shared_ptr<Fetch> FetchManager::fetch(const http::Url& url,
   fetch->t_initiated_ = sim_.now();
   by_url_[key] = fetch;
   fetches_.push_back(fetch);
+  trace_fetch_begin(*fetch);
   if (config_.cached_urls.count(key) != 0) {
     fetch->from_cache_ = true;
     fetch->status_ = 200;
     fetch->complete_ = true;
     fetch->t_complete_ = sim_.now();
+    if (config_.trace != nullptr && fetch->trace_id_ != 0) {
+      config_.trace->async_end(config_.trace_track, "browser", "fetch",
+                               fetch->trace_id_, {{"from_cache", 1}});
+    }
     return fetch;
   }
   if (should_delay(*fetch)) {
@@ -426,6 +476,15 @@ void FetchManager::on_fetch_complete(const std::shared_ptr<Fetch>& fetch) {
   if (fetch->complete_) return;
   fetch->complete_ = true;
   fetch->t_complete_ = sim_.now();
+  if (config_.trace != nullptr && fetch->trace_id_ != 0) {
+    config_.trace->async_end(
+        config_.trace_track, "browser", "fetch", fetch->trace_id_,
+        {{"size", fetch->body_.size()},
+         {"status", fetch->status_},
+         {"type", std::string(http::to_string(fetch->type_))},
+         {"pushed", fetch->pushed_ ? 1 : 0},
+         {"adopted", fetch->adopted_ ? 1 : 0}});
+  }
   auto subscribers = std::move(fetch->subscribers_);
   fetch->subscribers_.clear();
   for (auto& sub : subscribers) {

@@ -73,6 +73,8 @@ class Fetch {
   sim::Time initiated_at() const noexcept { return t_initiated_; }
   sim::Time headers_at() const noexcept { return t_headers_; }
   sim::Time completed_at() const noexcept { return t_complete_; }
+  /// Async-span id in the trace (0 when tracing is disabled).
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
 
   void subscribe(Subscriber subscriber);
 
@@ -96,6 +98,7 @@ class Fetch {
   // Pushed streams: where the promise lives, so adoption can reprioritize.
   std::size_t group_id_ = 0;
   std::uint32_t stream_id_ = 0;
+  std::uint64_t trace_id_ = 0;  // async-span id (fetch index, 1-based)
 };
 
 class FetchManager {
@@ -161,6 +164,7 @@ class FetchManager {
   void h1_pump(H1Conn& c);
   http::Request request_for(const Fetch& fetch) const;
   void on_fetch_complete(const std::shared_ptr<Fetch>& fetch);
+  void trace_fetch_begin(Fetch& fetch);
   bool should_delay(const Fetch& fetch) const;
   void release_delayed();
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "http/url.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace h2push::browser {
@@ -237,6 +238,10 @@ void Renderer::handle_token(const HtmlToken& token) {
 void Renderer::on_parse_complete() {
   parse_complete_ = true;
   dcl_time_ = sim_.now();
+  if (config_.trace != nullptr) {
+    config_.trace->instant(config_.trace_track, "browser",
+                           "mark.domContentLoaded");
+  }
   schedule_paint();
   check_onload();
 }
@@ -523,7 +528,13 @@ void Renderer::evaluate_paint() {
       in_progress = true;  // poll the next frame while bytes trickle in
     }
   }
-  if (changed) visual_.record(sim_.now(), painted_weight_);
+  if (changed) {
+    visual_.record(sim_.now(), painted_weight_);
+    if (config_.trace != nullptr) {
+      config_.trace->counter(config_.trace_track, "browser", "painted_weight",
+                             painted_weight_);
+    }
+  }
   if (in_progress) schedule_paint();
 }
 
@@ -536,6 +547,9 @@ void Renderer::check_onload() {
   if (fetches_.outstanding() > 0) return;
   onload_fired_ = true;
   onload_time_ = sim_.now();
+  if (config_.trace != nullptr) {
+    config_.trace->instant(config_.trace_track, "browser", "mark.onload");
+  }
   // Visual progress is finalized by the page-load driver once the event
   // queue drains: paints may still land on frame boundaries after onload.
 }

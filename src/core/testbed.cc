@@ -7,6 +7,7 @@
 #include "server/replay_server.h"
 #include "sim/tcp.h"
 #include "stats/descriptive.h"
+#include "trace/trace.h"
 
 namespace h2push::core {
 namespace {
@@ -47,6 +48,10 @@ class SimTransport final : public browser::ClientTransport {
     };
     tcp_ = std::make_unique<TcpConnection>(sim_, tcp_config, up, down,
                                            std::move(callbacks));
+    if (server_config.trace != nullptr) {
+      // TCP counters share the server session's track: cwnd next to frames.
+      tcp_->set_trace(server_config.trace, server_config.trace_track);
+    }
     server_.set_write_ready([this] { pump_server(); });
   }
 
@@ -211,6 +216,15 @@ browser::PageLoadResult run_page_load(const web::Site& site,
   auto uplink =
       std::make_unique<sim::Link>(sim, up_cfg, master.fork("loss-up"));
 
+  trace::TraceRecorder* tr = config.trace;
+  std::uint32_t browser_track = 0;
+  if (tr != nullptr) {
+    tr->set_clock([&sim] { return sim.now(); });
+    browser_track = tr->register_track("browser");
+    downlink->set_trace(tr, tr->register_track("link.down"));
+    uplink->set_trace(tr, tr->register_track("link.up"));
+  }
+
   // The push policy is served by whichever server hosts the trigger (the
   // primary origin). All servers share the store and origin map.
   server::PushPolicy policy;
@@ -231,7 +245,8 @@ browser::PageLoadResult run_page_load(const web::Site& site,
   const bool use_http1 = config.browser.use_http1;
   browser::TransportFactory factory =
       [&sim, &site, &policy, &sample, &downlink, &uplink, primary_ip,
-       &rtt_rng, &think_rng, &transports, use_http1](const std::string& host)
+       &rtt_rng, &think_rng, &transports, use_http1, tr](
+          const std::string& host)
       -> std::unique_ptr<browser::ClientTransport> {
     const std::string ip = site.origins.ip_of(host);
     sim::Time rtt = sample.origin_rtt(rtt_rng);
@@ -251,6 +266,10 @@ browser::PageLoadResult run_page_load(const web::Site& site,
     sc.origins = &site.origins;
     sc.think_time_mean = sample.server_think_mean;
     if (ip == primary_ip && !policy.empty()) sc.policy = policy;
+    if (tr != nullptr) {
+      sc.trace = tr;
+      sc.trace_track = tr->register_track("server." + host);
+    }
 
     sim::TcpConfig tcp_config;  // defaults: IW10, MSS 1460, TLS 1.2
     const auto stagger =
@@ -272,6 +291,8 @@ browser::PageLoadResult run_page_load(const web::Site& site,
 
   browser::BrowserConfig bc = config.browser;
   bc.enable_push = strategy.client_push_enabled;
+  bc.trace = tr;
+  bc.trace_track = browser_track;
 
   browser::PageLoad load(sim, bc, site.origins, site.main_url,
                          std::move(factory), master.fork("compute"));
@@ -282,6 +303,32 @@ browser::PageLoadResult run_page_load(const web::Site& site,
       downlink->dropped_packets() + uplink->dropped_packets();
   for (const auto* t : transports) {
     result.retransmissions += t->tcp().retransmissions();
+  }
+  if (tr != nullptr) {
+    // Finalize the roll-up and stamp the derived marks at their true times;
+    // the exporter orders by timestamp, so tracks stay monotonic.
+    auto& s = tr->summary();
+    s.run_span = sim.now();
+    s.downlink_busy = downlink->busy_time();
+    s.downlink_idle = s.run_span - s.downlink_busy;
+    s.uplink_busy = uplink->busy_time();
+    s.uplink_idle = s.run_span - s.uplink_busy;
+    const sim::Time t0 = load.fetches().main_connect_end();
+    tr->instant_at(t0, browser_track, "browser", "mark.connectEnd");
+    if (result.complete) {
+      tr->instant_at(t0 + sim::from_ms(result.plt_ms), browser_track,
+                     "browser", "mark.PLT", {{"plt_ms", result.plt_ms}});
+    }
+    if (result.speed_index_ms > 0) {
+      tr->instant_at(t0 + sim::from_ms(result.speed_index_ms), browser_track,
+                     "browser", "mark.speedIndex",
+                     {{"si_ms", result.speed_index_ms}});
+    }
+    if (result.first_paint_ms > 0) {
+      tr->instant_at(t0 + sim::from_ms(result.first_paint_ms), browser_track,
+                     "browser", "mark.firstPaint",
+                     {{"ms", result.first_paint_ms}});
+    }
   }
   return result;
 }

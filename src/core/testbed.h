@@ -15,6 +15,10 @@
 #include "sim/conditions.h"
 #include "web/site.h"
 
+namespace h2push::trace {
+class TraceRecorder;
+}
+
 namespace h2push::core {
 
 struct RunConfig {
@@ -22,6 +26,11 @@ struct RunConfig {
   browser::BrowserConfig browser;
   std::uint64_t seed = 1;
   int run_index = 0;
+  /// Optional event trace of the run (null = tracing disabled). Intended
+  /// for single runs: pass a fresh recorder per run_page_load call. The
+  /// testbed registers the tracks, wires the recorder through every layer,
+  /// and finalizes TraceSummary (link utilization, run span, PLT/SI marks).
+  trace::TraceRecorder* trace = nullptr;
 };
 
 /// Replay `site` once under `strategy`.

@@ -7,6 +7,10 @@
 
 #include "browser/page_load.h"
 
+namespace h2push::trace {
+class TraceRecorder;
+}
+
 namespace h2push::core {
 
 struct WaterfallOptions {
@@ -19,5 +23,19 @@ struct WaterfallOptions {
 /// one row per resource, plus PLT/SI markers.
 std::string render_waterfall(const browser::PageLoadResult& result,
                              const WaterfallOptions& options = {});
+
+/// Rebuild the resource-timing view of a finished run purely from its
+/// trace: browser-track "fetch" async spans become resource rows, the
+/// "mark.*" instants become the PLT / SpeedIndex / connectEnd reference
+/// points, and byte counts come from the TraceSummary. The trace carries
+/// the complete fetch lifecycle, so for a traced run this agrees with the
+/// PageLoadResult the testbed returned.
+browser::PageLoadResult result_from_trace(const trace::TraceRecorder& rec);
+
+/// render_waterfall over result_from_trace — a waterfall without access to
+/// the live run, e.g. from a recorder kept after the simulator was torn
+/// down.
+std::string render_waterfall_from_trace(const trace::TraceRecorder& rec,
+                                        const WaterfallOptions& options = {});
 
 }  // namespace h2push::core

@@ -3,7 +3,54 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace h2push::h2 {
+namespace {
+
+struct FrameTraceInfo {
+  std::string_view name;
+  std::uint32_t stream = 0;
+  std::int64_t bytes = 0;  // payload-ish size for DATA/header blocks
+};
+
+FrameTraceInfo frame_trace_info(const Frame& frame) {
+  return std::visit(
+      [](const auto& f) -> FrameTraceInfo {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, DataFrame>) {
+          return {to_string(FrameType::kData), f.stream_id,
+                  static_cast<std::int64_t>(f.data.size())};
+        } else if constexpr (std::is_same_v<T, HeadersFrame>) {
+          return {to_string(FrameType::kHeaders), f.stream_id,
+                  static_cast<std::int64_t>(f.header_block.size())};
+        } else if constexpr (std::is_same_v<T, PriorityFrame>) {
+          return {to_string(FrameType::kPriority), f.stream_id, 5};
+        } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
+          return {to_string(FrameType::kRstStream), f.stream_id, 4};
+        } else if constexpr (std::is_same_v<T, SettingsFrame>) {
+          return {to_string(FrameType::kSettings), 0,
+                  static_cast<std::int64_t>(f.settings.size() * 6)};
+        } else if constexpr (std::is_same_v<T, PushPromiseFrame>) {
+          return {to_string(FrameType::kPushPromise), f.stream_id,
+                  static_cast<std::int64_t>(f.header_block.size() + 4)};
+        } else if constexpr (std::is_same_v<T, PingFrame>) {
+          return {to_string(FrameType::kPing), 0, 8};
+        } else if constexpr (std::is_same_v<T, GoawayFrame>) {
+          return {to_string(FrameType::kGoaway), 0,
+                  static_cast<std::int64_t>(f.debug_data.size() + 8)};
+        } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
+          return {to_string(FrameType::kWindowUpdate), f.stream_id, 4};
+        } else {
+          static_assert(std::is_same_v<T, ExtensionFrame>);
+          return {"EXTENSION", f.stream_id,
+                  static_cast<std::int64_t>(f.payload.size())};
+        }
+      },
+      frame);
+}
+
+}  // namespace
 
 Connection::Connection(Config config, Callbacks callbacks)
     : config_(config),
@@ -51,6 +98,13 @@ void Connection::start() {
 }
 
 void Connection::queue_control(const Frame& frame) {
+  if (trace_) {
+    const FrameTraceInfo info = frame_trace_info(frame);
+    const std::string name(info.name);
+    trace_->instant(trace_track_, "h2", "send " + name,
+                    {{"stream", info.stream}, {"bytes", info.bytes}});
+    ++trace_->summary().frames_sent[name];
+  }
   control_queue_.push_back(serialize(frame, peer_max_frame_size_));
 }
 
@@ -199,6 +253,13 @@ std::vector<std::uint8_t> Connection::produce(std::size_t max_bytes) {
     const std::uint32_t id =
         scheduler_->pick([this](std::uint32_t sid) { return data_ready(sid); });
     if (id == 0) break;
+    if (trace_ && id != last_data_stream_) {
+      // The scheduler moved to a different stream: the switch points are
+      // what make interleaving visible in a trace (paper Fig. 5a).
+      trace_->instant(trace_track_, "h2", "data.switch",
+                      {{"from", last_data_stream_}, {"to", id}});
+      last_data_stream_ = id;
+    }
     Stream& s = streams_.at(id);
     const std::size_t remaining = s.body->size() - s.body_offset;
     std::size_t n = std::min<std::size_t>(remaining, peer_max_frame_size_);
@@ -220,6 +281,15 @@ std::vector<std::uint8_t> Connection::produce(std::size_t max_bytes) {
     s.data_sent += n;
     total_data_sent_ += n;
     scheduler_->on_data_sent(id, n);
+    if (trace_) {
+      trace_->instant(trace_track_, "h2", "send DATA",
+                      {{"stream", id},
+                       {"bytes", n},
+                       {"end_stream", frame.end_stream ? 1 : 0}});
+      ++trace_->summary().frames_sent["DATA"];
+      trace_->counter(trace_track_, "h2", "conn_send_window",
+                      static_cast<double>(send_window_));
+    }
     if (frame.end_stream) {
       s.body_pending = false;
       s.local_done = true;
@@ -308,6 +378,13 @@ void Connection::apply_remote_settings(const SettingsFrame& frame) {
 }
 
 void Connection::handle_frame(Frame frame) {
+  if (trace_) {
+    const FrameTraceInfo info = frame_trace_info(frame);
+    const std::string name(info.name);
+    trace_->instant(trace_track_, "h2", "recv " + name,
+                    {{"stream", info.stream}, {"bytes", info.bytes}});
+    ++trace_->summary().frames_received[name];
+  }
   std::visit(
       [this](auto&& f) {
         using T = std::decay_t<decltype(f)>;
@@ -422,6 +499,10 @@ void Connection::handle_frame(Frame frame) {
             if (send_window_ > kMaxWindow) {
               connection_error("connection window overflow");
               return;
+            }
+            if (trace_) {
+              trace_->counter(trace_track_, "h2", "conn_send_window",
+                              static_cast<double>(send_window_));
             }
           } else {
             Stream& s = ensure_stream(f.stream_id);

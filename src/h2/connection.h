@@ -27,6 +27,10 @@
 #include "h2/priority.h"
 #include "http/message.h"
 
+namespace h2push::trace {
+class TraceRecorder;
+}
+
 namespace h2push::h2 {
 
 enum class Role : std::uint8_t { kClient, kServer };
@@ -121,6 +125,13 @@ class Connection {
   void set_scheduler(std::unique_ptr<StreamScheduler> scheduler);
   StreamScheduler& scheduler() { return *scheduler_; }
 
+  /// Attach a trace recorder: per-frame send/recv instants, flow-control
+  /// window counters, and DATA scheduling switch points on `track`.
+  void set_trace(trace::TraceRecorder* recorder, std::uint32_t track) {
+    trace_ = recorder;
+    trace_track_ = track;
+  }
+
   // --- introspection ---
   bool push_enabled_by_peer() const noexcept { return peer_enable_push_; }
   StreamState stream_state(std::uint32_t stream) const;
@@ -183,6 +194,10 @@ class Connection {
   std::uint64_t total_data_sent_ = 0;
   std::string last_error_;
   bool errored_ = false;
+
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
+  std::uint32_t last_data_stream_ = 0;  // trace-only: DATA switch detection
 };
 
 }  // namespace h2push::h2

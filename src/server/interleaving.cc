@@ -1,5 +1,7 @@
 #include "server/interleaving.h"
 
+#include "trace/trace.h"
+
 namespace h2push::server {
 
 void InterleavingScheduler::configure(std::uint32_t parent,
@@ -19,19 +21,40 @@ bool InterleavingScheduler::paused(std::uint32_t id) const {
          !critical_done();
 }
 
+void InterleavingScheduler::maybe_trace_resume() {
+  if (trace_ != nullptr && pause_traced_ && !resume_traced_ &&
+      critical_done()) {
+    resume_traced_ = true;
+    trace_->instant(trace_track_, "server", "interleave.resume",
+                    {{"parent", parent_}});
+  }
+}
+
 void InterleavingScheduler::on_stream_removed(std::uint32_t id) {
   tree_.remove(id);
   pending_critical_.erase(id);  // a cancelled push must not wedge the parent
+  maybe_trace_resume();
 }
 
 void InterleavingScheduler::on_data_sent(std::uint32_t id,
                                          std::size_t bytes) {
-  if (configured_ && id == parent_) parent_sent_ += bytes;
+  if (configured_ && id == parent_) {
+    parent_sent_ += bytes;
+    if (trace_ != nullptr && !pause_traced_ && parent_sent_ >= offset_ &&
+        !critical_done()) {
+      pause_traced_ = true;
+      trace_->instant(trace_track_, "server", "interleave.pause",
+                      {{"parent", parent_},
+                       {"parent_sent", parent_sent_},
+                       {"pending_critical", pending_critical_.size()}});
+    }
+  }
 }
 
 void InterleavingScheduler::on_stream_finished(std::uint32_t id) {
   pending_critical_.erase(id);
   finished_.insert(id);
+  maybe_trace_resume();
 }
 
 std::uint32_t InterleavingScheduler::pick(

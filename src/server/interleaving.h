@@ -15,6 +15,10 @@
 
 #include "h2/priority.h"
 
+namespace h2push::trace {
+class TraceRecorder;
+}
+
 namespace h2push::server {
 
 class InterleavingScheduler final : public h2::StreamScheduler {
@@ -26,6 +30,12 @@ class InterleavingScheduler final : public h2::StreamScheduler {
                  std::set<std::uint32_t> critical);
 
   bool paused(std::uint32_t id) const;
+
+  /// Attach a trace recorder: pause / resume instants at the hard switch.
+  void set_trace(trace::TraceRecorder* recorder, std::uint32_t track) {
+    trace_ = recorder;
+    trace_track_ = track;
+  }
 
   // StreamScheduler:
   void on_stream_added(std::uint32_t id, const h2::PrioritySpec& s) override {
@@ -45,6 +55,7 @@ class InterleavingScheduler final : public h2::StreamScheduler {
 
  private:
   bool critical_done() const { return pending_critical_.empty(); }
+  void maybe_trace_resume();
 
   h2::PriorityTree tree_;
   bool configured_ = false;
@@ -53,6 +64,11 @@ class InterleavingScheduler final : public h2::StreamScheduler {
   std::size_t parent_sent_ = 0;
   std::set<std::uint32_t> pending_critical_;
   std::set<std::uint32_t> finished_;  // streams done before configure()
+
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
+  bool pause_traced_ = false;
+  bool resume_traced_ = false;
 };
 
 }  // namespace h2push::server

@@ -1,6 +1,7 @@
 #include "server/replay_server.h"
 
 #include "http/url.h"
+#include "trace/trace.h"
 
 namespace h2push::server {
 
@@ -30,6 +31,12 @@ ReplayServer::ReplayServer(sim::Simulator& sim, Config config, util::Rng rng)
     interleaver_ = sched.get();
     conn_->set_scheduler(std::move(sched));
   }
+  if (config_.trace != nullptr) {
+    conn_->set_trace(config_.trace, config_.trace_track);
+    if (interleaver_ != nullptr) {
+      interleaver_->set_trace(config_.trace, config_.trace_track);
+    }
+  }
   conn_->start();
 }
 
@@ -48,6 +55,12 @@ void ReplayServer::on_request(std::uint32_t stream,
   const bool is_trigger = config_.policy &&
                           config_.policy->trigger_host == authority &&
                           config_.policy->trigger_path == path;
+  if (config_.trace != nullptr) {
+    config_.trace->instant(config_.trace_track, "server", "request",
+                           {{"stream", stream},
+                            {"path", authority + path},
+                            {"trigger", is_trigger ? 1 : 0}});
+  }
   const auto respond_now = [this, stream, exchange, is_trigger] {
     // Cork the transport while the whole response (push promises, pushed
     // responses, the parent response) is queued, so the stream scheduler —
@@ -75,6 +88,13 @@ void ReplayServer::on_request(std::uint32_t stream,
 
 void ReplayServer::respond(std::uint32_t stream,
                            const replay::RecordedExchange& ex) {
+  if (config_.trace != nullptr) {
+    config_.trace->instant(
+        config_.trace_track, "server", "respond",
+        {{"stream", stream},
+         {"status", ex.response.status},
+         {"bytes", ex.body ? ex.body->size() : std::size_t{0}}});
+  }
   conn_->submit_response(stream, ex.response.to_h2_headers(), ex.body);
 }
 
@@ -110,6 +130,10 @@ void ReplayServer::apply_push_policy(std::uint32_t parent_stream) {
     if (policy.honor_cache_digest && has_digest_ &&
         digest_.probably_contains(push_url)) {
       ++pushes_skipped_by_digest_;
+      if (config_.trace != nullptr) {
+        config_.trace->instant(config_.trace_track, "server",
+                               "push.skipped_digest", {{"url", push_url}});
+      }
       ++index;
       continue;
     }
@@ -123,6 +147,13 @@ void ReplayServer::apply_push_policy(std::uint32_t parent_stream) {
     }
     ++push_promises_sent_;
     ++pushed_streams_;
+    if (config_.trace != nullptr) {
+      config_.trace->instant(
+          config_.trace_track, "server", "push_promise",
+          {{"parent", parent_stream}, {"promised", promised},
+           {"url", push_url}});
+      ++config_.trace->summary().push_promises;
+    }
     conn_->submit_response(promised, exchange->response.to_h2_headers(),
                            exchange->body);
     if (interleaver_ != nullptr && index < policy.critical_count) {
@@ -131,6 +162,13 @@ void ReplayServer::apply_push_policy(std::uint32_t parent_stream) {
     ++index;
   }
   if (interleaver_ != nullptr && !critical.empty()) {
+    if (config_.trace != nullptr) {
+      config_.trace->instant(
+          config_.trace_track, "server", "interleave.configure",
+          {{"parent", parent_stream},
+           {"offset", policy.interleave_offset},
+           {"critical", critical.size()}});
+    }
     interleaver_->configure(parent_stream, policy.interleave_offset,
                             std::move(critical));
   }

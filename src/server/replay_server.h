@@ -62,6 +62,10 @@ class ReplayServer {
     std::optional<PushPolicy> policy;
     /// Per-response server think time (0 in the deterministic testbed).
     sim::Time think_time_mean = 0;
+    /// Optional trace recorder shared with the whole run; events land on
+    /// `trace_track` (one track per server session).
+    trace::TraceRecorder* trace = nullptr;
+    std::uint32_t trace_track = 0;
   };
 
   ReplayServer(sim::Simulator& sim, Config config, util::Rng rng);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace h2push::sim {
 
 Link::Link(Simulator& sim, LinkConfig config, util::Rng loss_rng)
@@ -12,10 +14,18 @@ bool Link::transmit(std::size_t bytes, Time extra_delay,
   if (queued_bytes_ + bytes > config_.queue_capacity ||
       queued_packets_ >= config_.queue_packets) {
     ++dropped_;
+    if (trace_) {
+      trace_->instant(track_, "sim", "drop.queue_full", {{"bytes", bytes}});
+      ++trace_->summary().packets_dropped;
+    }
     return false;
   }
   if (config_.random_loss > 0 && loss_rng_.bernoulli(config_.random_loss)) {
     ++dropped_;
+    if (trace_) {
+      trace_->instant(track_, "sim", "drop.random_loss", {{"bytes", bytes}});
+      ++trace_->summary().packets_dropped;
+    }
     return true;  // consumed by the network, silently lost
   }
   queued_bytes_ += bytes;
@@ -26,15 +36,29 @@ bool Link::transmit(std::size_t bytes, Time extra_delay,
   const Time start = std::max(sim_.now(), busy_until_);
   const Time depart = start + ser;
   busy_until_ = depart;
+  busy_time_ += ser;
+  if (trace_) {
+    trace_->counter(track_, "sim", "queue_bytes",
+                    static_cast<double>(queued_bytes_));
+    trace_->counter(track_, "sim", "queue_packets",
+                    static_cast<double>(queued_packets_));
+  }
   // Bytes leave the queue when serialization completes...
   sim_.schedule_at(depart, [this, bytes] {
     queued_bytes_ -= bytes;
     --queued_packets_;
+    if (trace_) {
+      trace_->counter(track_, "sim", "queue_bytes",
+                      static_cast<double>(queued_bytes_));
+      trace_->counter(track_, "sim", "queue_packets",
+                      static_cast<double>(queued_packets_));
+    }
   });
   // ...and arrive after propagation.
   sim_.schedule_at(depart + config_.prop_delay + extra_delay,
                    [this, cb = std::move(on_delivered)] {
                      ++delivered_;
+                     if (trace_) ++trace_->summary().packets_delivered;
                      cb();
                    });
   return true;

@@ -14,6 +14,10 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 
+namespace h2push::trace {
+class TraceRecorder;
+}
+
 namespace h2push::sim {
 
 struct LinkConfig {
@@ -42,19 +46,31 @@ class Link {
   std::size_t queued_packets() const noexcept { return queued_packets_; }
   std::uint64_t delivered_packets() const noexcept { return delivered_; }
   std::uint64_t dropped_packets() const noexcept { return dropped_; }
+  /// Cumulative serialization time: (now - busy_time) is the link's idle
+  /// time, the resource Server Push tries to fill (paper §4.3).
+  Time busy_time() const noexcept { return busy_time_; }
   const LinkConfig& config() const noexcept { return config_; }
   void set_rate(double bps) noexcept { config_.rate_bps = bps; }
   void set_random_loss(double p) noexcept { config_.random_loss = p; }
+
+  /// Attach a trace recorder (queue-depth counters, drop instants).
+  void set_trace(trace::TraceRecorder* recorder, std::uint32_t track) {
+    trace_ = recorder;
+    track_ = track;
+  }
 
  private:
   Simulator& sim_;
   LinkConfig config_;
   util::Rng loss_rng_;
   Time busy_until_ = 0;
+  Time busy_time_ = 0;
   std::size_t queued_bytes_ = 0;
   std::size_t queued_packets_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 /// One direction of a path: the shared access link plus path-specific extra

@@ -8,11 +8,17 @@ EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
   if (t < now_) t = now_;
   const EventId id = next_id_++;
   queue_.push(Event{t, id, std::move(fn)});
+  live_.push_back(true);  // index id - 1
   return id;
 }
 
 void Simulator::cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+  // Only ids still live may enter cancelled_: cancelling a fired, foreign,
+  // or doubly-cancelled id must not grow the set, or pending_events()
+  // (queue size minus cancellations) would drift and eventually wrap.
+  if (id == kInvalidEvent || id >= next_id_ || !live_[id - 1]) return;
+  live_[id - 1] = false;
+  cancelled_.insert(id);
 }
 
 bool Simulator::step() {
@@ -25,6 +31,7 @@ bool Simulator::step() {
       cancelled_.erase(it);
       continue;
     }
+    live_[ev.id - 1] = false;
     now_ = ev.time;
     ++executed_;
     ev.fn();

@@ -11,6 +11,7 @@
 #include <functional>
 #include <queue>
 #include <unordered_set>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -35,8 +36,10 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancel a pending event. Safe to call with kInvalidEvent or an id that
-  /// already fired (no-op).
+  /// Cancel a pending event. Safe to call with kInvalidEvent, an id that
+  /// already fired, an id that was never issued, or an id cancelled before
+  /// (all no-ops): only live ids enter the cancelled set, so
+  /// pending_events() stays exact.
   void cancel(EventId id);
 
   /// Run the next pending event; returns false when the queue is empty.
@@ -63,7 +66,12 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  // live_[id - 1]: event `id` is scheduled and neither fired nor cancelled.
+  // Ids are issued sequentially, so a bit vector gives O(1) membership with
+  // no per-event allocation (the schedule/fire path is the simulator's
+  // hottest loop; a node-based set here costs several percent end to end).
+  std::vector<bool> live_;
+  std::unordered_set<EventId> cancelled_;  // subset of queued event ids
 };
 
 }  // namespace h2push::sim

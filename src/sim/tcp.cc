@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace h2push::sim {
+namespace {
+
+const char* side_name(TcpConnection::Side side) {
+  return side == TcpConnection::Side::kClient ? "client" : "server";
+}
+
+}  // namespace
 
 TcpConnection::TcpConnection(Simulator& sim, TcpConfig config, Route up,
                              Route down, Callbacks callbacks)
@@ -59,11 +68,13 @@ void TcpConnection::advance_handshake(int arrived_step) {
   if (was_last_up && callbacks_.on_accepted) {
     // Server-side handshake completes when it receives the final client
     // flight; the server may start writing (e.g. its SETTINGS frame).
+    if (trace_) trace_->instant(trace_track_, "tcp", "accepted");
     callbacks_.on_accepted();
   }
   if (was_last_down) {
     connected_ = true;
     connect_end_time_ = sim_.now();
+    if (trace_) trace_->instant(trace_track_, "tcp", "connected");
     if (handshake_total_steps_ == 2 && callbacks_.on_accepted) {
       callbacks_.on_accepted();  // no TLS: accept == connect
     }
@@ -103,6 +114,17 @@ double TcpConnection::cwnd_segments(Side sender) const noexcept {
   return half(sender).cwnd;
 }
 
+void TcpConnection::trace_congestion(Side sender) {
+  // Counter tracks per sending side; the server→client (down) direction is
+  // the one whose slow-start rounds shape push behaviour.
+  const Half& h = half(sender);
+  const std::string side(side_name(sender));
+  trace_->counter(trace_track_, "tcp", "cwnd." + side, h.cwnd);
+  if (h.ssthresh < 1e8) {
+    trace_->counter(trace_track_, "tcp", "ssthresh." + side, h.ssthresh);
+  }
+}
+
 void TcpConnection::try_send(Side sender) {
   if (!connected_ && sender == Side::kServer) {
     // The server may buffer before the handshake completes; data flows once
@@ -131,7 +153,15 @@ void TcpConnection::transmit_segment(Side sender, std::uint64_t seq,
   assert(off + len <= h.buffer.size());
   std::vector<std::uint8_t> payload(h.buffer.begin() + off,
                                     h.buffer.begin() + off + len);
-  if (is_retransmit) ++h.retransmissions;
+  if (is_retransmit) {
+    ++h.retransmissions;
+    if (trace_) {
+      trace_->instant(trace_track_, "tcp",
+                      std::string("retransmit.") + side_name(sender),
+                      {{"seq", seq}, {"len", len}});
+      ++trace_->summary().retransmissions;
+    }
+  }
   // Karn: only sample RTT on fresh transmissions, one sample at a time.
   if (!is_retransmit && h.sample_sent_at < 0) {
     h.sample_seq = seq + len;
@@ -215,6 +245,11 @@ void TcpConnection::on_ack(Side sender, std::uint64_t ack) {
         h.srtt = (7 * h.srtt + rtt) / 8;
       }
       h.rto = std::max(config_.rto_min, h.srtt + 4 * h.rttvar);
+      if (trace_) {
+        trace_->counter(trace_track_, "tcp",
+                        std::string("srtt_ms.") + side_name(sender),
+                        to_ms(h.srtt));
+      }
     }
     // Karn: a backed-off RTO is retained until a fresh RTT sample — resets
     // on mere ACK progress re-arm spurious timeouts when ACKs are merely
@@ -263,6 +298,11 @@ void TcpConnection::on_ack(Side sender, std::uint64_t ack) {
       h.cwnd = h.ssthresh + 3.0;
       h.in_recovery = true;
       h.recover = h.snd_nxt;
+      if (trace_) {
+        trace_->instant(trace_track_, "tcp",
+                        std::string("fast_retransmit.") + side_name(sender),
+                        {{"seq", h.snd_una}});
+      }
       const std::size_t len = static_cast<std::size_t>(
           std::min<std::uint64_t>(config_.mss, h.app_end - h.snd_una));
       if (len > 0)
@@ -271,6 +311,7 @@ void TcpConnection::on_ack(Side sender, std::uint64_t ack) {
       h.cwnd += 1.0;  // inflate during recovery
     }
   }
+  if (trace_) trace_congestion(sender);
   try_send(sender);
 }
 
@@ -298,6 +339,13 @@ void TcpConnection::on_rto(Side sender) {
   h.snd_nxt = h.snd_una;
   h.sample_sent_at = -1;  // Karn: no sampling across a timeout
   ++h.retransmissions;
+  if (trace_) {
+    trace_->instant(trace_track_, "tcp",
+                    std::string("rto.") + side_name(sender),
+                    {{"next_rto_ms", to_ms(h.rto)}});
+    ++trace_->summary().retransmissions;
+    trace_congestion(sender);
+  }
   try_send(sender);
 }
 

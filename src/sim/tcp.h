@@ -80,6 +80,13 @@ class TcpConnection {
   std::uint64_t retransmissions() const noexcept;
   double cwnd_segments(Side sender) const noexcept;
 
+  /// Attach a trace recorder: cwnd/ssthresh/srtt counter tracks, loss
+  /// recovery and handshake instants.
+  void set_trace(trace::TraceRecorder* recorder, std::uint32_t track) {
+    trace_ = recorder;
+    trace_track_ = track;
+  }
+
  private:
   // One direction of application data flow.
   struct Half {
@@ -135,6 +142,7 @@ class TcpConnection {
   void arm_rto(Side sender);
   void on_rto(Side sender);
   void maybe_signal_writable(Side sender);
+  void trace_congestion(Side sender);
 
   Simulator& sim_;
   TcpConfig config_;
@@ -151,6 +159,9 @@ class TcpConnection {
   int handshake_total_steps_ = 0;
   EventId handshake_timer_ = kInvalidEvent;
   Time handshake_rto_ = from_ms(1000);
+
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace h2push::sim

@@ -1,0 +1,27 @@
+// Exporters for TraceRecorder.
+//
+// `to_chrome_trace_json` emits the Chrome trace-event JSON object format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. Tracks map to
+// threads of a single process; metadata events name and order them. Events
+// are ordered by (timestamp, emission sequence), so every track is
+// monotonic and the output is byte-identical for identical runs.
+//
+// `summary_to_json` renders the per-run TraceSummary as a small stable JSON
+// object for dashboards and regression diffs.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace h2push::trace {
+
+std::string to_chrome_trace_json(const TraceRecorder& recorder);
+
+std::string summary_to_json(const TraceSummary& summary);
+
+/// Human-oriented one-screen rendering of the summary (examples print it).
+std::string summary_to_text(const TraceSummary& summary);
+
+}  // namespace h2push::trace

@@ -48,6 +48,37 @@ TEST(Simulator, CancelInvalidIsNoop) {
   EXPECT_FALSE(sim.step());
 }
 
+// Regression: cancelling an id that never existed, an id that already
+// fired, or the same id twice used to grow the cancelled set without a
+// matching queue entry, corrupting pending_events() for the rest of the
+// run (it could even underflow below the number of live events).
+TEST(Simulator, CancelBookkeepingStaysExact) {
+  Simulator sim;
+  sim.cancel(987654);  // never scheduled
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  const auto a = sim.schedule_in(from_ms(1), [] {});
+  const auto b = sim.schedule_in(from_ms(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+
+  sim.cancel(a);
+  sim.cancel(a);  // double cancel: second is a no-op
+  EXPECT_EQ(sim.pending_events(), 1u);
+
+  EXPECT_TRUE(sim.step());  // fires b (a was cancelled)
+  EXPECT_EQ(sim.now(), from_ms(2));
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  sim.cancel(b);  // cancel after fire: must not count
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  const auto c = sim.schedule_in(from_ms(1), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(c);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
 TEST(Simulator, EventsScheduledInPastClampToNow) {
   Simulator sim;
   sim.schedule_at(from_ms(10), [&] {
