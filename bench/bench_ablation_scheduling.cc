@@ -17,6 +17,7 @@
 #include "core/critical_css.h"
 #include "core/optimize.h"
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/descriptive.h"
@@ -28,9 +29,10 @@ using namespace h2push;
 namespace {
 
 void report(const char* label, const web::Site& site,
-            const core::Strategy& strategy, core::RunConfig cfg, int runs) {
+            const core::Strategy& strategy, core::RunConfig cfg, int runs,
+            core::ParallelRunner& runner) {
   const auto series =
-      core::collect(core::run_repeated(site, strategy, cfg, runs));
+      core::collect(core::run_repeated(site, strategy, cfg, runs, runner));
   std::printf("  %-34s SI %8.1f ms   PLT %8.1f ms\n", label,
               series.si_median(), series.plt_median());
 }
@@ -40,6 +42,7 @@ void report(const char* label, const web::Site& site,
 int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int runs = quick ? 5 : 15;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Ablations — scheduler, reprioritization, throttling, TLS",
                 "design choices from DESIGN.md §4");
 
@@ -48,19 +51,19 @@ int main(int argc, char** argv) {
   {
     const auto named = web::make_w_site(1);
     core::RunConfig cfg;
-    const auto order = core::compute_push_order(named.site, cfg, 5);
+    const auto order = core::compute_push_order(named.site, cfg, 5, runner);
     browser::BrowserConfig bc;
     const auto arms = core::make_fig6_arms(named.site, bc, order.order);
     const auto list = arms.arms();
-    report("no push", *list[0].site, list[0].strategy, cfg, runs);
+    report("no push", *list[0].site, list[0].strategy, cfg, runs, runner);
     report("push critical (default sched)", *list[4].site, list[4].strategy,
-           cfg, runs);
+           cfg, runs, runner);
     auto no_interleave = list[5].strategy;
     no_interleave.interleaving = false;
     report("critical set, default sched", *list[5].site, no_interleave, cfg,
-           runs);
+           runs, runner);
     report("critical set, interleaving", *list[5].site, list[5].strategy,
-           cfg, runs);
+           cfg, runs, runner);
   }
 
   // --- B: pushed-stream reprioritization (via a contention-heavy page) ---
@@ -69,14 +72,14 @@ int main(int argc, char** argv) {
   {
     const auto site = web::make_synthetic_site(1);
     core::RunConfig cfg;
-    const auto order = core::compute_push_order(site, cfg, 5);
-    report("no push", site, core::no_push(), cfg, runs);
+    const auto order = core::compute_push_order(site, cfg, 5, runner);
+    report("no push", site, core::no_push(), cfg, runs, runner);
     report("push all, computed order", site,
-           core::push_all(site, order.order), cfg, runs);
+           core::push_all(site, order.order), cfg, runs, runner);
     auto reversed = order.order;
     std::reverse(reversed.begin(), reversed.end());
     report("push all, reversed order", site, core::push_all(site, reversed),
-           cfg, runs);
+           cfg, runs, runner);
   }
 
   // --- C: ResourceScheduler throttling ---
@@ -89,11 +92,11 @@ int main(int argc, char** argv) {
       for (const auto& site : sites) {
         core::RunConfig cfg;
         cfg.browser.delayable_throttling = throttle;
-        const auto order = core::compute_push_order(site, cfg, 5);
+        const auto order = core::compute_push_order(site, cfg, 5, runner);
         const auto push = core::collect(core::run_repeated(
-            site, core::push_all(site, order.order), cfg, runs));
+            site, core::push_all(site, order.order), cfg, runs, runner));
         const auto nopush = core::collect(
-            core::run_repeated(site, core::no_push(), cfg, runs));
+            core::run_repeated(site, core::no_push(), cfg, runs, runner));
         const double delta = push.si_median() - nopush.si_median();
         if (delta < -1) ++improved;
         if (delta > 1) ++worsened;

@@ -10,6 +10,7 @@
 //                 * push-all + CACHE_DIGEST skips them server-side.
 #include "bench/common.h"
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/descriptive.h"
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int n_sites = quick ? 10 : 40;
   const int runs = quick ? 5 : 15;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Extension — cache digests and server-aided hints",
                 "paper §2.1 (cache-status drafts) + MetaPush/Vroom baselines");
   bench::Stopwatch watch;
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
     std::vector<double> plt, si, wasted, cancels;
     for (const auto& site : sites) {
       core::RunConfig cfg;
-      const auto order = core::compute_push_order(site, cfg, 5);
+      const auto order = core::compute_push_order(site, cfg, 5, runner);
       core::Strategy strategy = core::no_push();
       if (arm.push) strategy = core::push_all(site, order.order);
       if (arm.hints) strategy = core::hint_all(site, order.order);
@@ -61,7 +63,8 @@ int main(int argc, char** argv) {
         }
       }
       cfg.browser.send_cache_digest = arm.digest;
-      const auto results = core::run_repeated(site, strategy, cfg, runs);
+      const auto results = core::run_repeated(site, strategy, cfg, runs,
+                                              runner);
       for (const auto& r : results) {
         plt.push_back(r.plt_ms);
         si.push_back(r.speed_index_ms);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/cdf.h"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int n_sites = quick ? 20 : 100;
   const int runs = quick ? 9 : 31;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Fig. 2a — per-site std. error over repeated runs",
                 "Zimmermann et al., CoNEXT'18, Figure 2(a)");
   bench::Stopwatch watch;
@@ -28,13 +30,19 @@ int main(int argc, char** argv) {
 
   struct Arm {
     const char* label;
+    const char* key;  // BENCH report suffix
     bool internet;
     bool push;
   };
-  const Arm arms[] = {{"push (tb)", false, true},
-                      {"no push (tb)", false, false},
-                      {"push (Inet)", true, true},
-                      {"no push (Inet)", true, false}};
+  const Arm arms[] = {{"push (tb)", "push_tb", false, true},
+                      {"no push (tb)", "nopush_tb", false, false},
+                      {"push (Inet)", "push_inet", true, true},
+                      {"no push (Inet)", "nopush_inet", true, false}};
+
+  bench::BenchReport report;
+  report.name = "fig2a_variability";
+  report.runs = runs;
+  report.jobs = runner.jobs();
 
   std::printf("%-16s %22s %22s\n", "arm", "PLT sigma_x CDF", "SI sigma_x CDF");
   std::printf("%-16s %10s %10s %10s %10s\n", "", "<50ms", "<100ms", "<50ms",
@@ -47,20 +55,29 @@ int main(int argc, char** argv) {
                              : sim::NetworkConditions::testbed();
       const core::Strategy strategy =
           arm.push ? core::push_recorded(site) : core::no_push();
-      std::vector<double> plts, sis;
-      util::Rng mutate_rng(site.plan.seed ^ 0xD15C0);
-      for (int r = 0; r < runs; ++r) {
-        cfg.run_index = r;
-        // The Internet serves dynamic third-party content: each run may see
-        // slightly different objects (ads rotate).
-        const web::Site* run_site = &site;
-        web::Site mutated;
-        if (arm.internet) {
-          mutated = web::mutate_dynamic(site, cfg.net.dynamic_content_prob,
-                                        mutate_rng);
-          run_site = &mutated;
+      // The Internet serves dynamic third-party content: each run may see
+      // slightly different objects (ads rotate). The mutation stream is
+      // sequential, so the per-run sites are materialized up front and only
+      // the page loads fan across the runner.
+      std::vector<web::Site> mutated;
+      if (arm.internet) {
+        util::Rng mutate_rng(site.plan.seed ^ 0xD15C0);
+        mutated.reserve(static_cast<std::size_t>(runs));
+        for (int r = 0; r < runs; ++r) {
+          mutated.push_back(web::mutate_dynamic(
+              site, cfg.net.dynamic_content_prob, mutate_rng));
         }
-        const auto result = core::run_page_load(*run_site, strategy, cfg);
+      }
+      const auto loads = runner.map<browser::PageLoadResult>(
+          static_cast<std::size_t>(runs), [&](std::size_t r) {
+            core::RunConfig run_cfg = cfg;
+            run_cfg.run_index = static_cast<int>(r);
+            const web::Site& run_site = arm.internet ? mutated[r] : site;
+            return core::run_page_load(run_site, strategy, run_cfg);
+          });
+      report.total_loads += static_cast<std::uint64_t>(runs);
+      std::vector<double> plts, sis;
+      for (const auto& result : loads) {
         if (!result.complete) continue;
         plts.push_back(result.plt_ms);
         sis.push_back(result.speed_index_ms);
@@ -73,11 +90,18 @@ int main(int argc, char** argv) {
                 100 * plt_sigma.fraction_below(100),
                 100 * si_sigma.fraction_below(50),
                 100 * si_sigma.fraction_below(100));
+    report.extra[std::string("plt_sigma_below100_") + arm.key + "_pct"] =
+        100 * plt_sigma.fraction_below(100);
+    report.extra[std::string("si_sigma_below100_") + arm.key + "_pct"] =
+        100 * si_sigma.fraction_below(100);
   }
   std::printf(
       "\npaper: testbed 85%%/95%% of sites below 50/100 ms (PLT), Internet "
       "5%%/14%%\n");
   std::printf("elapsed: %.1fs (n=%d sites x %d runs x 4 arms)\n",
               watch.seconds(), n_sites, runs);
+  report.elapsed_s = watch.seconds();
+  report.extra["sites"] = static_cast<double>(sites.size());
+  bench::write_report(report);
   return 0;
 }

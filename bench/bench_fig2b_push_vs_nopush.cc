@@ -4,6 +4,7 @@
 // PLT and 35 % in SpeedIndex — push helps some sites and hurts others even
 // under deterministic conditions.
 #include "bench/common.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/cdf.h"
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int n_sites = quick ? 20 : 100;
   const int runs = quick ? 9 : 31;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Fig. 2b — Δ(push - no push) in the testbed",
                 "Zimmermann et al., CoNEXT'18, Figure 2(b)");
   bench::Stopwatch watch;
@@ -25,12 +27,14 @@ int main(int argc, char** argv) {
 
   stats::Cdf delta_plt, delta_si;
   std::vector<double> push_plt_medians, push_si_medians;
+  std::uint64_t total_loads = 0;
   for (const auto& site : sites) {
     core::RunConfig cfg;
     const auto push = core::collect(
-        core::run_repeated(site, core::push_recorded(site), cfg, runs));
+        core::run_repeated(site, core::push_recorded(site), cfg, runs, runner));
     const auto nopush = core::collect(
-        core::run_repeated(site, core::no_push(), cfg, runs));
+        core::run_repeated(site, core::no_push(), cfg, runs, runner));
+    total_loads += 2 * static_cast<std::uint64_t>(runs);
     delta_plt.add(push.plt_median() - nopush.plt_median());
     delta_si.add(push.si_median() - nopush.si_median());
     push_plt_medians.push_back(push.plt_median());
@@ -51,6 +55,8 @@ int main(int argc, char** argv) {
   bench::BenchReport report;
   report.name = "fig2b_push_vs_nopush";
   report.runs = runs;
+  report.jobs = runner.jobs();
+  report.total_loads = total_loads;
   report.median_plt_ms = stats::median(push_plt_medians);
   report.median_si_ms = stats::median(push_si_medians);
   report.elapsed_s = watch.seconds();

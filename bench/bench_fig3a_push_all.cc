@@ -4,6 +4,7 @@
 // sites benefit in SpeedIndex — "push everything" is not a safe default.
 #include "bench/common.h"
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/cdf.h"
@@ -16,9 +17,15 @@ int main(int argc, char** argv) {
   const int n_sites = quick ? 15 : 100;
   const int runs = quick ? 7 : 31;
   const int order_runs = quick ? 5 : 31;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Fig. 3a — push all (computed order) vs no push",
                 "Zimmermann et al., CoNEXT'18, Figure 3(a)");
   bench::Stopwatch watch;
+
+  bench::BenchReport report;
+  report.name = "fig3a_push_all";
+  report.runs = runs;
+  report.jobs = runner.jobs();
 
   for (const bool top : {true, false}) {
     const auto profile = top ? web::PopulationProfile::top100()
@@ -26,15 +33,21 @@ int main(int argc, char** argv) {
     const auto sites =
         web::generate_population(profile, n_sites, top ? 0xF3A1 : 0xF3A2);
     stats::Cdf delta_si, delta_plt;
+    std::vector<double> push_plt_medians, push_si_medians;
     for (const auto& site : sites) {
       core::RunConfig cfg;
-      const auto order = core::compute_push_order(site, cfg, order_runs);
+      const auto order =
+          core::compute_push_order(site, cfg, order_runs, runner);
       const auto push = core::collect(core::run_repeated(
-          site, core::push_all(site, order.order), cfg, runs));
+          site, core::push_all(site, order.order), cfg, runs, runner));
       const auto nopush = core::collect(
-          core::run_repeated(site, core::no_push(), cfg, runs));
+          core::run_repeated(site, core::no_push(), cfg, runs, runner));
+      report.total_loads +=
+          static_cast<std::uint64_t>(order_runs) + 2 * runs;
       delta_si.add(push.si_median() - nopush.si_median());
       delta_plt.add(push.plt_median() - nopush.plt_median());
+      push_plt_medians.push_back(push.plt_median());
+      push_si_medians.push_back(push.si_median());
     }
     std::printf("\n%s: dSI CDF deciles [ms]:", profile.label.c_str());
     for (int p = 0; p <= 100; p += 20) {
@@ -44,7 +57,16 @@ int main(int argc, char** argv) {
                 100 * delta_si.fraction_below(-1e-9), top ? "58%" : "45%");
     std::printf("  sites improving (dPLT < 0): %.0f%%\n",
                 100 * delta_plt.fraction_below(-1e-9));
+    const std::string key = top ? "top100" : "random100";
+    report.extra["improving_si_" + key + "_pct"] =
+        100 * delta_si.fraction_below(-1e-9);
+    report.extra["delta_si_p50_" + key + "_ms"] = delta_si.value_at(0.5);
+    // Headline medians track the random-100 set (the paper's focus).
+    report.median_plt_ms = stats::median(push_plt_medians);
+    report.median_si_ms = stats::median(push_si_medians);
   }
   std::printf("\nelapsed: %.1fs\n", watch.seconds());
+  report.elapsed_s = watch.seconds();
+  bench::write_report(report);
   return 0;
 }

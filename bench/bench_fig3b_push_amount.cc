@@ -4,6 +4,7 @@
 // many sites still see no significant improvement.
 #include "bench/common.h"
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/cdf.h"
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   const int n_sites = quick ? 15 : 100;
   const int runs = quick ? 7 : 31;
   const int order_runs = quick ? 5 : 31;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Fig. 3b — push a limited amount of objects (random-100)",
                 "Zimmermann et al., CoNEXT'18, Figure 3(b)");
   bench::Stopwatch watch;
@@ -27,18 +29,25 @@ int main(int argc, char** argv) {
                                  static_cast<std::size_t>(-1)};
   stats::Cdf delta_plt[5], delta_si[5];
 
+  bench::BenchReport report;
+  report.name = "fig3b_push_amount";
+  report.runs = runs;
+  report.jobs = runner.jobs();
+
   for (const auto& site : sites) {
     core::RunConfig cfg;
-    const auto order = core::compute_push_order(site, cfg, order_runs);
+    const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto nopush = core::collect(
-        core::run_repeated(site, core::no_push(), cfg, runs));
+        core::run_repeated(site, core::no_push(), cfg, runs, runner));
+    report.total_loads += static_cast<std::uint64_t>(order_runs) + runs;
     for (int a = 0; a < 5; ++a) {
       const core::Strategy strategy =
           amounts[a] == static_cast<std::size_t>(-1)
               ? core::push_all(site, order.order)
               : core::push_first_n(site, order.order, amounts[a]);
       const auto push =
-          core::collect(core::run_repeated(site, strategy, cfg, runs));
+          core::collect(core::run_repeated(site, strategy, cfg, runs, runner));
+      report.total_loads += static_cast<std::uint64_t>(runs);
       delta_plt[a].add(push.plt_median() - nopush.plt_median());
       delta_si[a].add(push.si_median() - nopush.si_median());
     }
@@ -62,5 +71,14 @@ int main(int argc, char** argv) {
       "(fewer large regressions),\n       but a lot of sites show no "
       "significant improvement for any n\n");
   std::printf("elapsed: %.1fs\n", watch.seconds());
+  report.elapsed_s = watch.seconds();
+  for (int a = 0; a < 5; ++a) {
+    const std::string key = amounts[a] == static_cast<std::size_t>(-1)
+                                ? std::string("all")
+                                : std::to_string(amounts[a]);
+    report.extra["delta_si_p50_push" + key + "_ms"] =
+        delta_si[a].value_at(0.5);
+  }
+  bench::write_report(report);
   return 0;
 }

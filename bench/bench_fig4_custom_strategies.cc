@@ -9,6 +9,7 @@
 #include "bench/common.h"
 #include "core/critical_css.h"
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/descriptive.h"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int runs = quick ? 9 : 31;
   const int order_runs = quick ? 5 : 15;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Fig. 4 — custom strategies on synthetic sites s1-s10",
                 "Zimmermann et al., CoNEXT'18, Figure 4");
   bench::Stopwatch watch;
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
     const auto site = web::relocate_single_server(web::make_synthetic_site(i));
     core::RunConfig cfg;
     browser::BrowserConfig bc;
-    const auto order = core::compute_push_order(site, cfg, order_runs);
+    const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto analysis = core::analyze_critical(site, bc);
 
     // Custom strategy: above-the-fold resources and what is needed to paint
@@ -40,12 +42,12 @@ int main(int argc, char** argv) {
     auto custom_strategy = core::push_list(
         "custom", core::filter_pushable(site, custom));
 
-    const auto nopush =
-        core::collect(core::run_repeated(site, core::no_push(), cfg, runs));
-    const auto all_runs =
-        core::run_repeated(site, core::push_all(site, order.order), cfg, runs);
+    const auto nopush = core::collect(
+        core::run_repeated(site, core::no_push(), cfg, runs, runner));
+    const auto all_runs = core::run_repeated(
+        site, core::push_all(site, order.order), cfg, runs, runner);
     const auto custom_runs =
-        core::run_repeated(site, custom_strategy, cfg, runs);
+        core::run_repeated(site, custom_strategy, cfg, runs, runner);
     const auto all = core::collect(all_runs);
     const auto custom_m = core::collect(custom_runs);
 

@@ -11,6 +11,7 @@
 // alike; interleaving yields a nearly constant (and faster) SpeedIndex.
 #include "bench/common.h"
 #include "core/critical_css.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/descriptive.h"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace h2push;
   const bool quick = bench::quick_mode(argc, argv);
   const int runs = quick ? 7 : 31;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Fig. 5b — SpeedIndex vs HTML size, interleaving push",
                 "Zimmermann et al., CoNEXT'18, Figure 5(b)");
   bench::Stopwatch watch;
@@ -30,6 +32,7 @@ int main(int argc, char** argv) {
   bench::BenchReport report;
   report.name = "fig5_interleaving";
   report.runs = runs;
+  report.jobs = runner.jobs();
   for (int kb = 10; kb <= 90; kb += 10) {
     web::PagePlan plan;
     plan.name = "fig5-" + std::to_string(kb);
@@ -61,7 +64,8 @@ int main(int argc, char** argv) {
     for (int a = 0; a < 3; ++a) {
       core::RunConfig cfg;
       const auto series =
-          core::collect(core::run_repeated(site, *arms[a], cfg, runs));
+          core::collect(core::run_repeated(site, *arms[a], cfg, runs, runner));
+      report.total_loads += static_cast<std::uint64_t>(runs);
       means[a] = stats::mean(series.speed_index_ms);
       devs[a] = stats::stddev(series.speed_index_ms);
       plt_medians[a] = series.plt_median();

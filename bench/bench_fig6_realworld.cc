@@ -9,6 +9,7 @@
 #include "bench/common.h"
 #include "core/dependency.h"
 #include "core/optimize.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/descriptive.h"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const int runs = quick ? 7 : 31;
   const int order_runs = quick ? 5 : 15;
   const int first = 1, last = 20;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Fig. 6 — interleaving push strategies on w1-w20",
                 "Zimmermann et al., CoNEXT'18, Figure 6 and Table 1");
   bench::Stopwatch watch;
@@ -37,7 +39,7 @@ int main(int argc, char** argv) {
     const auto& site = named.site;
     core::RunConfig cfg;
     browser::BrowserConfig bc;
-    const auto order = core::compute_push_order(site, cfg, order_runs);
+    const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto arms = core::make_fig6_arms(site, bc, order.order);
 
     double base_si = 0;
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
     std::vector<double> base_runs;
     for (const auto& arm : arms.arms()) {
       const auto results = core::run_repeated(*arm.site, arm.strategy, cfg,
-                                              runs);
+                                              runs, runner);
       const auto series = core::collect(results);
       if (a == 0) {
         base_runs = series.speed_index_ms;

@@ -6,6 +6,7 @@
 // little more on top.
 #include "bench/common.h"
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/cdf.h"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int n_sites = quick ? 12 : 50;
   const int runs = quick ? 5 : 15;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("Baseline — HTTP/1.1 vs HTTP/2 vs HTTP/2 + push",
                 "paper §1/§3 framing; Wang et al. [37], Varvello et al. [35]");
   bench::Stopwatch watch;
@@ -42,16 +44,16 @@ int main(int argc, char** argv) {
     for (const auto& site : sites) {
       core::RunConfig cfg;
       cfg.net = cond.net;
-      const auto order = core::compute_push_order(site, cfg, 5);
+      const auto order = core::compute_push_order(site, cfg, 5, runner);
 
       core::RunConfig h1_cfg = cfg;
       h1_cfg.browser.use_http1 = true;
       const auto h1 = core::collect(
-          core::run_repeated(site, core::no_push(), h1_cfg, runs));
+          core::run_repeated(site, core::no_push(), h1_cfg, runs, runner));
       const auto h2 = core::collect(
-          core::run_repeated(site, core::no_push(), cfg, runs));
+          core::run_repeated(site, core::no_push(), cfg, runs, runner));
       const auto push = core::collect(core::run_repeated(
-          site, core::push_all(site, order.order), cfg, runs));
+          site, core::push_all(site, order.order), cfg, runs, runner));
 
       h2_vs_h1_plt.add((h2.plt_median() - h1.plt_median()) /
                        h1.plt_median() * 100.0);
@@ -88,9 +90,9 @@ int main(int argc, char** argv) {
     core::RunConfig h1_cfg = cfg;
     h1_cfg.browser.use_http1 = true;
     const auto h1 = core::collect(
-        core::run_repeated(site, core::no_push(), h1_cfg, runs));
+        core::run_repeated(site, core::no_push(), h1_cfg, runs, runner));
     const auto h2 = core::collect(
-        core::run_repeated(site, core::no_push(), cfg, runs));
+        core::run_repeated(site, core::no_push(), cfg, runs, runner));
     std::printf("  s%-2d  H1.1 PLT %7.1f ms   H2 PLT %7.1f ms   (%+.1f%%)\n",
                 idx, h1.plt_median(), h2.plt_median(),
                 (h2.plt_median() - h1.plt_median()) / h1.plt_median() * 100);

@@ -7,6 +7,7 @@
 
 #include "bench/common.h"
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "stats/cdf.h"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const int n_sites = quick ? 15 : 100;
   const int runs = quick ? 7 : 31;
   const int order_runs = quick ? 5 : 31;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("§4.2.1 — pushing specific object types (random-100)",
                 "Zimmermann et al., CoNEXT'18, Section 4.2.1");
   bench::Stopwatch watch;
@@ -43,14 +45,14 @@ int main(int argc, char** argv) {
 
   for (const auto& site : sites) {
     core::RunConfig cfg;
-    const auto order = core::compute_push_order(site, cfg, order_runs);
+    const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto nopush = core::collect(
-        core::run_repeated(site, core::no_push(), cfg, runs));
+        core::run_repeated(site, core::no_push(), cfg, runs, runner));
     double site_best_si = 1e18, site_best_plt = 1e18;
     for (int a = 0; a < kArms; ++a) {
       auto strategy = core::push_types(site, order.order, arms[a].types);
       const auto push =
-          core::collect(core::run_repeated(site, strategy, cfg, runs));
+          core::collect(core::run_repeated(site, strategy, cfg, runs, runner));
       const double d_si = push.si_median() - nopush.si_median();
       const double d_plt = push.plt_median() - nopush.plt_median();
       dsi[a].add(d_si);

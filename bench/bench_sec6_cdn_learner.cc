@@ -7,6 +7,7 @@
 #include "bench/common.h"
 #include "core/dependency.h"
 #include "core/learner.h"
+#include "core/runner.h"
 #include "core/optimize.h"
 #include "core/testbed.h"
 #include "stats/descriptive.h"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int first = 1, last = quick ? 6 : 20;
   const int verify_runs = quick ? 7 : 15;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
   bench::header("§6 — CDN-style automatic strategy learning on w1-w20",
                 "Zimmermann et al., CoNEXT'18, Section 6 proposal");
   bench::Stopwatch watch;
@@ -33,18 +35,18 @@ int main(int argc, char** argv) {
       lc.runs_per_candidate = 5;
       lc.order_runs = 5;
     }
-    const auto learned = core::learn_strategy(named.site, cfg, lc);
+    const auto learned = core::learn_strategy(named.site, cfg, lc, &runner);
 
     // The hand-tailored Fig.-6 arm for comparison.
     browser::BrowserConfig bc;
     const auto order = core::compute_push_order(named.site, cfg,
-                                                quick ? 5 : 9);
+                                                quick ? 5 : 9, runner);
     const auto arms = core::make_fig6_arms(named.site, bc, order.order);
     const auto hand_arm = arms.arms()[5];  // push critical optimized
     const auto hand = core::collect(core::run_repeated(
-        *hand_arm.site, hand_arm.strategy, cfg, verify_runs));
+        *hand_arm.site, hand_arm.strategy, cfg, verify_runs, runner));
     const auto baseline = core::collect(core::run_repeated(
-        named.site, core::no_push(), cfg, verify_runs));
+        named.site, core::no_push(), cfg, verify_runs, runner));
     const double hand_rel =
         (hand.si_median() - baseline.si_median()) / baseline.si_median();
 

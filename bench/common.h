@@ -10,6 +10,8 @@
 #include <map>
 #include <string>
 
+#include "core/runner.h"
+
 namespace h2push::bench {
 
 /// --quick (or H2PUSH_QUICK=1) shrinks populations/run counts for fast
@@ -20,6 +22,19 @@ inline bool quick_mode(int argc, char** argv) {
   }
   const char* env = std::getenv("H2PUSH_QUICK");
   return env != nullptr && env[0] == '1';
+}
+
+/// --jobs N (or H2PUSH_JOBS=N) controls the experiment runner's thread
+/// pool; 0 = all cores. --jobs 1 is the exact serial fallback. Results are
+/// byte-identical across settings; only wall time changes.
+inline int jobs_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n > 0) return n;
+    }
+  }
+  return core::ParallelRunner::default_jobs();  // env override or all cores
 }
 
 inline void header(const std::string& title, const std::string& paper_ref) {
@@ -42,11 +57,20 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// `git describe --always --dirty` of the checkout the harness ran from,
-/// or "unknown" outside a git work tree.
+/// `git describe --always --dirty` of the checkout the harness was built
+/// from, or "unknown" outside a git work tree. Runs `git -C <source dir>`
+/// (the directory is baked in at configure time), so the answer is right
+/// even when the binary is invoked from a build or scratch directory —
+/// previously this described whatever work tree cwd happened to be in.
 inline std::string git_describe() {
   std::string out = "unknown";
-  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+#ifdef H2PUSH_SOURCE_DIR
+  const std::string cmd = std::string("git -C \"") + H2PUSH_SOURCE_DIR +
+                          "\" describe --always --dirty 2>/dev/null";
+#else
+  const std::string cmd = "git describe --always --dirty 2>/dev/null";
+#endif
+  FILE* pipe = ::popen(cmd.c_str(), "r");
   if (pipe == nullptr) return out;
   char buf[128] = {0};
   if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
@@ -66,6 +90,8 @@ inline std::string git_describe() {
 struct BenchReport {
   std::string name;                     ///< file suffix, e.g. "fig5"
   int runs = 0;                         ///< page loads per point
+  int jobs = 1;                         ///< runner thread count
+  std::uint64_t total_loads = 0;        ///< page loads across the sweep
   double median_plt_ms = 0;
   double median_si_ms = 0;
   double elapsed_s = 0;
@@ -79,9 +105,15 @@ inline void write_report(const BenchReport& report) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
+  const double runs_per_sec =
+      report.elapsed_s > 0
+          ? static_cast<double>(report.total_loads) / report.elapsed_s
+          : 0.0;
   std::fprintf(f, "{\n  \"name\": \"%s\",\n", report.name.c_str());
   std::fprintf(f, "  \"git\": \"%s\",\n", git_describe().c_str());
   std::fprintf(f, "  \"runs\": %d,\n", report.runs);
+  std::fprintf(f, "  \"jobs\": %d,\n", report.jobs);
+  std::fprintf(f, "  \"runs_per_sec\": %.3f,\n", runs_per_sec);
   std::fprintf(f, "  \"median_plt_ms\": %.3f,\n", report.median_plt_ms);
   std::fprintf(f, "  \"median_si_ms\": %.3f,\n", report.median_si_ms);
   std::fprintf(f, "  \"elapsed_s\": %.3f", report.elapsed_s);
@@ -90,7 +122,8 @@ inline void write_report(const BenchReport& report) {
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
-  std::printf("report: %s\n", path.c_str());
+  std::printf("report: %s (%.1f runs/s at jobs=%d)\n", path.c_str(),
+              runs_per_sec, report.jobs);
 }
 
 }  // namespace h2push::bench

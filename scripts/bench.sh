@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Build Release and run every experiment harness, collecting the
+# machine-readable BENCH_<name>.json reports into the repository root so
+# successive checkouts can be diffed.
+#
+#   scripts/bench.sh                 # full paper-scale runs, all cores
+#   scripts/bench.sh --quick         # reduced populations/run counts
+#   scripts/bench.sh --jobs 4        # pin the runner's thread count
+#   scripts/bench.sh --only fig5     # run harnesses matching a substring
+#
+# Flags other than --only are forwarded to each harness; the harnesses also
+# honor H2PUSH_QUICK=1 and H2PUSH_JOBS=N from the environment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo_root=$(pwd)
+
+only=""
+args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --only)
+      only="$2"
+      shift 2
+      ;;
+    *)
+      args+=("$1")
+      shift
+      ;;
+  esac
+done
+
+build_dir=build-release
+echo "=== build: Release (${build_dir}/) ==="
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" >/dev/null
+
+# Run from a scratch directory so the reports can be collected explicitly;
+# binaries embed the source dir for provenance (git_describe).
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+cd "$scratch"
+
+status=0
+for bin in "$repo_root/$build_dir"/bench/bench_*; do
+  [[ -x "$bin" ]] || continue
+  name=$(basename "$bin")
+  [[ "$name" == "bench_micro_protocol" ]] && continue  # google-benchmark CLI
+  if [[ -n "$only" && "$name" != *"$only"* ]]; then
+    continue
+  fi
+  echo "=== $name ${args[*]:-} ==="
+  if ! "$bin" "${args[@]}"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+done
+
+shopt -s nullglob
+reports=(BENCH_*.json)
+if [[ ${#reports[@]} -gt 0 ]]; then
+  cp "${reports[@]}" "$repo_root/"
+  echo "collected: ${reports[*]} -> $repo_root/"
+fi
+exit "$status"

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 build + test pass, then the same test suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer (separate build dir —
-# sanitized objects are not ABI-compatible with the plain build).
+# under AddressSanitizer + UndefinedBehaviorSanitizer, then the threaded
+# runner tests under ThreadSanitizer (separate build dir per sanitizer —
+# sanitized objects are not ABI-compatible with each other or the plain
+# build; TSan in particular excludes ASan).
 #
-#   scripts/check.sh            # tier-1 + ASan/UBSan
+#   scripts/check.sh            # tier-1 + ASan/UBSan + TSan
 #   scripts/check.sh --fast     # tier-1 only
 #
 # Exits non-zero on the first failure.
@@ -27,5 +29,12 @@ cmake -B build-asan -S . -DH2PUSH_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$jobs"
 UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== sanitizers: TSan on the parallel runner (build-tsan/) ==="
+cmake -B build-tsan -S . -DH2PUSH_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target runner_test
+# Force a multi-threaded sweep even on 1-core CI boxes.
+H2PUSH_JOBS=4 TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R ParallelRunner
 
 echo "=== OK ==="

@@ -3,23 +3,25 @@
 #include <algorithm>
 #include <map>
 
+#include "core/runner.h"
 #include "stats/rank.h"
 
 namespace h2push::core {
+namespace {
 
-PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
-                                   int runs) {
+/// Majority-vote aggregation over per-run fetch orders. Serial and keyed
+/// only on the (run_index-ordered) load results, so the answer does not
+/// depend on how the loads were scheduled.
+PushOrderResult aggregate_push_order(
+    const web::Site& site, const std::vector<browser::PageLoadResult>& loads) {
   PushOrderResult result;
   const std::string main_url = site.main_url.str();
-  const Strategy baseline = no_push();
 
   std::map<std::string, std::uint32_t> ids;
   std::vector<std::string> names;
   std::vector<std::vector<std::uint32_t>> observations;
 
-  for (int i = 0; i < runs; ++i) {
-    config.run_index = i;
-    const auto load = run_page_load(site, baseline, config);
+  for (const auto& load : loads) {
     std::vector<std::string> order;
     std::vector<std::uint32_t> observation;
     for (const auto& r : load.resources) {
@@ -38,6 +40,20 @@ PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
   result.order.reserve(aggregated.size());
   for (const auto id : aggregated) result.order.push_back(names[id]);
   return result;
+}
+
+}  // namespace
+
+PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
+                                   int runs) {
+  return aggregate_push_order(site,
+                              run_repeated(site, no_push(), config, runs));
+}
+
+PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
+                                   int runs, ParallelRunner& runner) {
+  return aggregate_push_order(
+      site, run_repeated(site, no_push(), config, runs, runner));
 }
 
 }  // namespace h2push::core

@@ -26,4 +26,12 @@ struct PushOrderResult {
 PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
                                    int runs = 31);
 
+class ParallelRunner;
+
+/// Parallel variant: the 31 no-push replays fan across `runner`; the
+/// majority vote runs serially over the results in run_index order, so the
+/// aggregated order is byte-identical to the serial overload.
+PushOrderResult compute_push_order(const web::Site& site, RunConfig config,
+                                   int runs, ParallelRunner& runner);
+
 }  // namespace h2push::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/dependency.h"
+#include "core/runner.h"
 #include "stats/descriptive.h"
 
 namespace h2push::core {
@@ -15,8 +16,11 @@ struct Candidate {
 };
 
 CandidateResult evaluate(const web::Site& site, const Strategy& strategy,
-                         RunConfig config, int runs, double baseline_si) {
-  const auto series = collect(run_repeated(site, strategy, config, runs));
+                         RunConfig config, int runs, double baseline_si,
+                         ParallelRunner* runner) {
+  const auto series = collect(
+      runner != nullptr ? run_repeated(site, strategy, config, runs, *runner)
+                        : run_repeated(site, strategy, config, runs));
   CandidateResult out;
   out.name = strategy.name;
   out.si_ms = series.si_median();
@@ -30,9 +34,13 @@ CandidateResult evaluate(const web::Site& site, const Strategy& strategy,
 }  // namespace
 
 LearnerOutput learn_strategy(const web::Site& site, RunConfig config,
-                             const LearnerConfig& learner) {
+                             const LearnerConfig& learner,
+                             ParallelRunner* runner) {
   LearnerOutput output;
-  const auto order = compute_push_order(site, config, learner.order_runs);
+  const auto order =
+      runner != nullptr
+          ? compute_push_order(site, config, learner.order_runs, *runner)
+          : compute_push_order(site, config, learner.order_runs);
   browser::BrowserConfig bc = config.browser;
   output.optimized = apply_critical_css(site, bc);
   const auto& analysis = output.optimized.analysis;
@@ -85,7 +93,7 @@ LearnerOutput learn_strategy(const web::Site& site, RunConfig config,
 
   // Evaluate: baseline first, then everything against it.
   const auto baseline = evaluate(site, candidates[0].strategy, config,
-                                 learner.runs_per_candidate, 0);
+                                 learner.runs_per_candidate, 0, runner);
   output.all.push_back(baseline);
   output.best = {candidates[0].strategy, false, baseline};
   double best_score = 0;  // relative SI gain, adjusted
@@ -95,7 +103,7 @@ LearnerOutput learn_strategy(const web::Site& site, RunConfig config,
     const auto& run_site =
         candidate.optimized_site ? output.optimized.site : site;
     auto result = evaluate(run_site, candidate.strategy, config,
-                           learner.runs_per_candidate, baseline.si_ms);
+                           learner.runs_per_candidate, baseline.si_ms, runner);
     output.all.push_back(result);
     // Objective: relative SI gain; among near-ties prefer fewer pushed
     // bytes (a 1 MB push must buy real gain, §4.2.1).

@@ -56,8 +56,14 @@ struct LearnerOutput {
   std::vector<CandidateResult> all;    // full leaderboard, best first
 };
 
+class ParallelRunner;
+
 /// Evaluate the candidate family on `site` and pick the best strategy.
+/// When `runner` is non-null the per-candidate replays fan across its
+/// threads; the learned strategy is identical either way (candidates are
+/// scored from run-indexed results, in candidate order).
 LearnerOutput learn_strategy(const web::Site& site, RunConfig config,
-                             const LearnerConfig& learner = {});
+                             const LearnerConfig& learner = {},
+                             ParallelRunner* runner = nullptr);
 
 }  // namespace h2push::core

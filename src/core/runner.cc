@@ -1,0 +1,145 @@
+#include "core/runner.h"
+
+#include <cstdlib>
+
+namespace h2push::core {
+
+int ParallelRunner::default_jobs() {
+  if (const char* env = std::getenv("H2PUSH_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelRunner::ParallelRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : default_jobs()) {
+  if (jobs_ == 1) return;  // inline fallback, no threads
+  queues_.reserve(static_cast<std::size_t>(jobs_));
+  threads_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  for (int i = 0; i < jobs_; ++i) {
+    threads_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ParallelRunner::for_each(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    // Serial fallback: same semantics as the pool (every task runs, the
+    // lowest-index exception wins), minus the threads.
+    std::exception_ptr first;
+    bool failed = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!failed) {
+          first = std::current_exception();
+          failed = true;
+        }
+      }
+    }
+    if (failed) std::rethrow_exception(first);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    body_ = &body;
+    remaining_ = count;
+    error_ = nullptr;
+    error_index_ = count;
+    // Round-robin seeding spreads the batch so stealing is the exception,
+    // not the common case.
+    for (std::size_t i = 0; i < count; ++i) {
+      WorkerQueue& queue = *queues_[i % queues_.size()];
+      std::lock_guard queue_lock(queue.mu);
+      queue.tasks.push_back(i);
+    }
+    ++batch_;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ParallelRunner::worker_loop(std::size_t self) {
+  std::uint64_t seen_batch = 0;
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stopping_ || batch_ != seen_batch; });
+      if (stopping_) return;
+      seen_batch = batch_;
+    }
+    std::size_t index;
+    while (try_pop(self, index)) run_task(index);
+  }
+}
+
+bool ParallelRunner::try_pop(std::size_t self, std::size_t& index) {
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard lock(own.mu);
+    if (!own.tasks.empty()) {
+      index = own.tasks.back();  // owner takes newest (LIFO): warm caches
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      index = victim.tasks.front();  // thief takes oldest (FIFO)
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParallelRunner::run_task(std::size_t index) {
+  const std::function<void(std::size_t)>* body;
+  {
+    std::lock_guard lock(mu_);
+    body = body_;
+  }
+  try {
+    (*body)(index);
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    if (error_ == nullptr || index < error_index_) {
+      error_ = std::current_exception();
+      error_index_ = index;
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace h2push::core

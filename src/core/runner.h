@@ -1,0 +1,86 @@
+// Parallel experiment runner.
+//
+// The paper's results come from sweeping thousands of (site × strategy ×
+// network × repeat) configurations; every configuration is an independent
+// deterministic simulation (each run_page_load owns a private Simulator and
+// derives all randomness from (seed, site, run_index)), so the sweep is
+// embarrassingly parallel. ParallelRunner fans such index-addressed tasks
+// across a work-stealing thread pool while keeping results in submission
+// order — output is byte-identical to serial execution for any job count.
+//
+// Determinism argument: tasks share no mutable state (sites and record
+// stores are immutable during replay; bodies are shared_ptr with atomic
+// refcounts), each task writes only results[i], and the pool never reorders
+// observable effects — so scheduling is invisible in the output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace h2push::core {
+
+class ParallelRunner {
+ public:
+  /// `jobs` <= 0 resolves via default_jobs(). jobs == 1 never spawns
+  /// threads: tasks run inline on the caller, giving an exact serial
+  /// fallback for debugging.
+  explicit ParallelRunner(int jobs = 0);
+  ~ParallelRunner();
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  int jobs() const noexcept { return jobs_; }
+
+  /// H2PUSH_JOBS env override, else hardware_concurrency (min 1).
+  static int default_jobs();
+
+  /// Run body(0) .. body(count-1) across the pool; blocks until all have
+  /// finished. If any task throws, the exception of the lowest-index
+  /// failing task is rethrown here (after every task has completed).
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& body);
+
+  /// Map indices to values; out[i] = fn(i), in submission order.
+  template <typename T, typename Fn>
+  std::vector<T> map(std::size_t count, Fn&& fn) {
+    std::vector<T> out(count);
+    for_each(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  // One work-stealing deque per worker: the owner pops from the back, idle
+  // workers steal from the front. Per-deque mutexes are cheap against the
+  // millisecond-scale tasks this pool runs (whole page loads).
+  struct WorkerQueue {
+    std::deque<std::size_t> tasks;
+    std::mutex mu;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::size_t& index);
+  void run_task(std::size_t index);
+
+  int jobs_ = 1;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: a new batch arrived
+  std::condition_variable done_cv_;   // caller: the batch finished
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t remaining_ = 0;         // tasks not yet finished this batch
+  std::uint64_t batch_ = 0;           // bumped per for_each call
+  bool stopping_ = false;
+
+  std::size_t error_index_ = 0;       // lowest failing index this batch
+  std::exception_ptr error_;
+};
+
+}  // namespace h2push::core

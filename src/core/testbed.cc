@@ -1,8 +1,10 @@
 #include "core/testbed.h"
 
+#include <cassert>
 #include <map>
 #include <memory>
 
+#include "core/runner.h"
 #include "server/h1_replay_server.h"
 #include "server/replay_server.h"
 #include "sim/tcp.h"
@@ -344,6 +346,20 @@ std::vector<browser::PageLoadResult> run_repeated(const web::Site& site,
     out.push_back(run_page_load(site, strategy, config));
   }
   return out;
+}
+
+std::vector<browser::PageLoadResult> run_repeated(const web::Site& site,
+                                                  const Strategy& strategy,
+                                                  RunConfig config, int runs,
+                                                  ParallelRunner& runner) {
+  assert(config.trace == nullptr &&
+         "tracing is per-run; record with the serial run_page_load");
+  return runner.map<browser::PageLoadResult>(
+      static_cast<std::size_t>(runs), [&](std::size_t i) {
+        RunConfig cfg = config;
+        cfg.run_index = static_cast<int>(i);
+        return run_page_load(site, strategy, cfg);
+      });
 }
 
 MetricSeries collect(const std::vector<browser::PageLoadResult>& results) {

@@ -44,6 +44,18 @@ std::vector<browser::PageLoadResult> run_repeated(const web::Site& site,
                                                   RunConfig config,
                                                   int runs = 31);
 
+class ParallelRunner;
+
+/// Same sweep fanned across `runner`'s thread pool. Each task owns a
+/// private Simulator (created inside run_page_load), and results come back
+/// in run_index order — output is byte-identical to the serial overload
+/// for any job count. config.trace must be null: a TraceRecorder is a
+/// single-run object and is not shared across workers.
+std::vector<browser::PageLoadResult> run_repeated(const web::Site& site,
+                                                  const Strategy& strategy,
+                                                  RunConfig config, int runs,
+                                                  ParallelRunner& runner);
+
 /// Median / error helpers over repeated runs.
 struct MetricSeries {
   std::vector<double> plt_ms;

@@ -97,15 +97,45 @@ void Connection::start() {
   signal_write();
 }
 
+void Connection::trace_send(std::string_view name, std::uint32_t stream,
+                            std::int64_t bytes) {
+  const std::string key(name);
+  trace_->instant(trace_track_, "h2", "send " + key,
+                  {{"stream", stream}, {"bytes", bytes}});
+  ++trace_->summary().frames_sent[key];
+}
+
 void Connection::queue_control(const Frame& frame) {
   if (trace_) {
     const FrameTraceInfo info = frame_trace_info(frame);
-    const std::string name(info.name);
-    trace_->instant(trace_track_, "h2", "send " + name,
-                    {{"stream", info.stream}, {"bytes", info.bytes}});
-    ++trace_->summary().frames_sent[name];
+    trace_send(info.name, info.stream, info.bytes);
   }
   control_queue_.push_back(serialize(frame, peer_max_frame_size_));
+}
+
+void Connection::queue_header_frame(std::uint32_t stream_id,
+                                    const http::HeaderBlock& headers,
+                                    bool end_stream,
+                                    const std::optional<PrioritySpec>& priority,
+                                    std::uint32_t promised_id) {
+  encoder_.encode_into(headers, hpack_scratch_);
+  std::vector<std::uint8_t> chunk;
+  if (promised_id != 0) {
+    if (trace_) {
+      trace_send(to_string(FrameType::kPushPromise), stream_id,
+                 static_cast<std::int64_t>(hpack_scratch_.size() + 4));
+    }
+    append_push_promise_frame(chunk, stream_id, promised_id, hpack_scratch_,
+                              peer_max_frame_size_);
+  } else {
+    if (trace_) {
+      trace_send(to_string(FrameType::kHeaders), stream_id,
+                 static_cast<std::int64_t>(hpack_scratch_.size()));
+    }
+    append_headers_frame(chunk, stream_id, end_stream, priority,
+                         hpack_scratch_, peer_max_frame_size_);
+  }
+  control_queue_.push_back(std::move(chunk));
 }
 
 void Connection::signal_write() {
@@ -139,12 +169,7 @@ std::uint32_t Connection::submit_request(
   Stream& s = ensure_stream(id);
   s.state = StreamState::kHalfClosedLocal;  // GET with END_STREAM
   s.local_done = true;
-  HeadersFrame frame;
-  frame.stream_id = id;
-  frame.end_stream = true;
-  frame.priority = priority;
-  frame.header_block = encoder_.encode(headers);
-  queue_control(Frame{frame});
+  queue_header_frame(id, headers, /*end_stream=*/true, priority);
   scheduler_->on_stream_added(id, priority.value_or(PrioritySpec{}));
   signal_write();
   return id;
@@ -184,11 +209,8 @@ std::uint32_t Connection::submit_push_promise(
   Stream& s = ensure_stream(id);
   s.state = StreamState::kReservedLocal;
   s.remote_done = true;  // the peer never sends on a pushed stream
-  PushPromiseFrame frame;
-  frame.stream_id = parent;
-  frame.promised_id = id;
-  frame.header_block = encoder_.encode(request_headers);
-  queue_control(Frame{frame});
+  queue_header_frame(parent, request_headers, /*end_stream=*/false,
+                     std::nullopt, /*promised_id=*/id);
   // h2o: pushed streams depend on the associated (parent) stream.
   scheduler_->on_stream_added(id, PrioritySpec{parent, 16, false});
   signal_write();
@@ -205,11 +227,8 @@ void Connection::submit_response(std::uint32_t stream,
     s.state = StreamState::kHalfClosedRemote;
   }
   const bool empty_body = !body || body->empty();
-  HeadersFrame frame;
-  frame.stream_id = stream;
-  frame.end_stream = empty_body;
-  frame.header_block = encoder_.encode(headers);
-  queue_control(Frame{frame});
+  queue_header_frame(stream, headers, /*end_stream=*/empty_body,
+                     std::nullopt);
   if (empty_body) {
     s.local_done = true;
     s.end_queued = true;
@@ -241,6 +260,7 @@ bool Connection::want_write() const {
 
 std::vector<std::uint8_t> Connection::produce(std::size_t max_bytes) {
   std::vector<std::uint8_t> out;
+  out.reserve(max_bytes);
   // 1. Control frames (SETTINGS, HEADERS, PUSH_PROMISE, RST, WINDOW_UPDATE):
   //    not flow controlled, sent ahead of DATA like real stacks do.
   while (!control_queue_.empty() && out.size() < max_bytes) {
@@ -267,14 +287,12 @@ std::vector<std::uint8_t> Connection::produce(std::size_t max_bytes) {
     n = std::min<std::size_t>(n, static_cast<std::size_t>(send_window_));
     n = std::min<std::size_t>(n, scheduler_->max_bytes_for(id));
     assert(n > 0);
-    DataFrame frame;
-    frame.stream_id = id;
-    frame.end_stream = (n == remaining);
+    const bool end_stream = (n == remaining);
     const auto* base =
         reinterpret_cast<const std::uint8_t*>(s.body->data()) + s.body_offset;
-    frame.data.assign(base, base + n);
-    const auto bytes = serialize(Frame{frame}, peer_max_frame_size_);
-    out.insert(out.end(), bytes.begin(), bytes.end());
+    // Serialized straight into the output buffer: no DataFrame temp, no
+    // per-frame payload copy + re-copy.
+    append_data_frame(out, id, end_stream, {base, n});
     s.body_offset += n;
     s.send_window -= static_cast<std::int64_t>(n);
     send_window_ -= static_cast<std::int64_t>(n);
@@ -285,12 +303,12 @@ std::vector<std::uint8_t> Connection::produce(std::size_t max_bytes) {
       trace_->instant(trace_track_, "h2", "send DATA",
                       {{"stream", id},
                        {"bytes", n},
-                       {"end_stream", frame.end_stream ? 1 : 0}});
+                       {"end_stream", end_stream ? 1 : 0}});
       ++trace_->summary().frames_sent["DATA"];
       trace_->counter(trace_track_, "h2", "conn_send_window",
                       static_cast<double>(send_window_));
     }
-    if (frame.end_stream) {
+    if (end_stream) {
       s.body_pending = false;
       s.local_done = true;
       s.end_queued = true;

@@ -160,6 +160,15 @@ class Connection {
   };
 
   void queue_control(const Frame& frame);
+  /// Encode `headers` into the reusable HPACK scratch buffer and queue a
+  /// HEADERS (or, with `promised_id`, PUSH_PROMISE) frame built directly in
+  /// its control-queue slot — no intermediate Frame variant or block copy.
+  void queue_header_frame(std::uint32_t stream_id,
+                          const http::HeaderBlock& headers, bool end_stream,
+                          const std::optional<PrioritySpec>& priority,
+                          std::uint32_t promised_id = 0);
+  void trace_send(std::string_view name, std::uint32_t stream,
+                  std::int64_t bytes);
   void connection_error(const std::string& message);
   void handle_frame(Frame frame);
   void apply_remote_settings(const SettingsFrame& frame);
@@ -191,6 +200,7 @@ class Connection {
   std::uint64_t recv_unacked_ = 0;
 
   std::deque<std::vector<std::uint8_t>> control_queue_;
+  std::vector<std::uint8_t> hpack_scratch_;  // reused per header block
   std::uint64_t total_data_sent_ = 0;
   std::string last_error_;
   bool errored_ = false;

@@ -1,20 +1,32 @@
 #include "h2/frame.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace h2push::h2 {
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
+// Serialization writes through raw pointers into a region grown once per
+// frame: reserve-and-write instead of push_back per byte.
+
+std::uint8_t* grow(std::vector<std::uint8_t>& out, std::size_t n) {
+  const std::size_t pos = out.size();
+  out.resize(pos + n);
+  return out.data() + pos;
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
+std::uint8_t* put_u16(std::uint8_t* p, std::uint16_t v) {
+  *p++ = static_cast<std::uint8_t>(v >> 8);
+  *p++ = static_cast<std::uint8_t>(v);
+  return p;
+}
+
+std::uint8_t* put_u32(std::uint8_t* p, std::uint32_t v) {
+  *p++ = static_cast<std::uint8_t>(v >> 24);
+  *p++ = static_cast<std::uint8_t>(v >> 16);
+  *p++ = static_cast<std::uint8_t>(v >> 8);
+  *p++ = static_cast<std::uint8_t>(v);
+  return p;
 }
 
 std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t pos) {
@@ -24,20 +36,45 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t pos) {
          static_cast<std::uint32_t>(in[pos + 3]);
 }
 
-void put_frame_header(std::vector<std::uint8_t>& out, std::size_t length,
-                      FrameType type, std::uint8_t flags,
-                      std::uint32_t stream_id) {
-  out.push_back(static_cast<std::uint8_t>(length >> 16));
-  out.push_back(static_cast<std::uint8_t>(length >> 8));
-  out.push_back(static_cast<std::uint8_t>(length));
-  out.push_back(static_cast<std::uint8_t>(type));
-  out.push_back(flags);
-  put_u32(out, stream_id & 0x7fffffff);
+std::uint8_t* put_frame_header(std::uint8_t* p, std::size_t length,
+                               FrameType type, std::uint8_t flags,
+                               std::uint32_t stream_id) {
+  *p++ = static_cast<std::uint8_t>(length >> 16);
+  *p++ = static_cast<std::uint8_t>(length >> 8);
+  *p++ = static_cast<std::uint8_t>(length);
+  *p++ = static_cast<std::uint8_t>(type);
+  *p++ = flags;
+  return put_u32(p, stream_id & 0x7fffffff);
 }
 
-void put_priority(std::vector<std::uint8_t>& out, const PrioritySpec& p) {
-  put_u32(out, (p.exclusive ? 0x80000000u : 0u) | (p.depends_on & 0x7fffffff));
-  out.push_back(static_cast<std::uint8_t>((p.weight == 0 ? 16 : p.weight) - 1));
+std::uint8_t* put_bytes(std::uint8_t* p, const std::uint8_t* src,
+                        std::size_t n) {
+  if (n > 0) std::memcpy(p, src, n);
+  return p + n;
+}
+
+std::uint8_t* put_priority(std::uint8_t* p, const PrioritySpec& prio) {
+  p = put_u32(p, (prio.exclusive ? 0x80000000u : 0u) |
+                     (prio.depends_on & 0x7fffffff));
+  *p++ = static_cast<std::uint8_t>((prio.weight == 0 ? 16 : prio.weight) - 1);
+  return p;
+}
+
+constexpr std::size_t kFrameHeader = 9;
+
+/// Wire size of a HEADERS/PUSH_PROMISE carrying `block` bytes whose first
+/// frame has `first_cap` payload capacity, plus CONTINUATION overhead.
+std::size_t header_block_wire_size(std::size_t block, std::size_t first_cap,
+                                   std::uint32_t max_frame_size) {
+  if (block <= first_cap) return kFrameHeader + block;
+  std::size_t size = kFrameHeader + first_cap;
+  std::size_t remaining = block - first_cap;
+  while (remaining > 0) {
+    const std::size_t n = std::min<std::size_t>(max_frame_size, remaining);
+    size += kFrameHeader + n;
+    remaining -= n;
+  }
+  return size;
 }
 
 PrioritySpec get_priority(std::span<const std::uint8_t> in, std::size_t pos) {
@@ -73,109 +110,180 @@ std::span<const std::uint8_t> client_preface() {
   return {kPreface, 24};
 }
 
-std::vector<std::uint8_t> serialize(const Frame& frame,
-                                    std::uint32_t max_frame_size) {
-  std::vector<std::uint8_t> out;
+std::size_t serialized_size(const Frame& frame,
+                            std::uint32_t max_frame_size) {
+  return std::visit(
+      [&](const auto& f) -> std::size_t {
+        using T = std::decay_t<decltype(f)>;
+        if constexpr (std::is_same_v<T, DataFrame>) {
+          return kFrameHeader + f.data.size();
+        } else if constexpr (std::is_same_v<T, HeadersFrame>) {
+          const std::size_t prio_len = f.priority ? 5 : 0;
+          return prio_len + header_block_wire_size(f.header_block.size(),
+                                                   max_frame_size - prio_len,
+                                                   max_frame_size);
+        } else if constexpr (std::is_same_v<T, PriorityFrame>) {
+          return kFrameHeader + 5;
+        } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
+          return kFrameHeader + 4;
+        } else if constexpr (std::is_same_v<T, SettingsFrame>) {
+          return kFrameHeader + (f.ack ? 0 : f.settings.size() * 6);
+        } else if constexpr (std::is_same_v<T, PushPromiseFrame>) {
+          return 4 + header_block_wire_size(f.header_block.size(),
+                                            max_frame_size - 4,
+                                            max_frame_size);
+        } else if constexpr (std::is_same_v<T, PingFrame>) {
+          return kFrameHeader + 8;
+        } else if constexpr (std::is_same_v<T, GoawayFrame>) {
+          return kFrameHeader + 8 + f.debug_data.size();
+        } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
+          return kFrameHeader + 4;
+        } else {
+          static_assert(std::is_same_v<T, ExtensionFrame>);
+          return kFrameHeader + f.payload.size();
+        }
+      },
+      frame);
+}
+
+void append_data_frame(std::vector<std::uint8_t>& out,
+                       std::uint32_t stream_id, bool end_stream,
+                       std::span<const std::uint8_t> payload) {
+  std::uint8_t* p = grow(out, kFrameHeader + payload.size());
+  p = put_frame_header(p, payload.size(), FrameType::kData,
+                       end_stream ? kFlagEndStream : 0, stream_id);
+  put_bytes(p, payload.data(), payload.size());
+}
+
+void append_headers_frame(std::vector<std::uint8_t>& out,
+                          std::uint32_t stream_id, bool end_stream,
+                          const std::optional<PrioritySpec>& priority,
+                          std::span<const std::uint8_t> header_block,
+                          std::uint32_t max_frame_size) {
+  const std::size_t prio_len = priority ? 5 : 0;
+  const std::size_t first_cap = max_frame_size - prio_len;
+  const bool fits = header_block.size() <= first_cap;
+  const std::size_t first_len = fits ? header_block.size() : first_cap;
+  std::uint8_t flags = 0;
+  if (end_stream) flags |= kFlagEndStream;
+  if (priority) flags |= kFlagPriority;
+  if (fits) flags |= kFlagEndHeaders;
+  std::uint8_t* p =
+      grow(out, prio_len + header_block_wire_size(header_block.size(),
+                                                  first_cap, max_frame_size));
+  p = put_frame_header(p, first_len + prio_len, FrameType::kHeaders, flags,
+                       stream_id);
+  if (priority) p = put_priority(p, *priority);
+  p = put_bytes(p, header_block.data(), first_len);
+  // CONTINUATION frames for the remainder.
+  std::size_t pos = first_len;
+  while (pos < header_block.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(max_frame_size, header_block.size() - pos);
+    const bool last = pos + n == header_block.size();
+    p = put_frame_header(p, n, FrameType::kContinuation,
+                         last ? kFlagEndHeaders : 0, stream_id);
+    p = put_bytes(p, header_block.data() + pos, n);
+    pos += n;
+  }
+}
+
+void append_push_promise_frame(std::vector<std::uint8_t>& out,
+                               std::uint32_t stream_id,
+                               std::uint32_t promised_id,
+                               std::span<const std::uint8_t> header_block,
+                               std::uint32_t max_frame_size) {
+  const std::size_t first_cap = max_frame_size - 4;
+  const bool fits = header_block.size() <= first_cap;
+  const std::size_t first_len = fits ? header_block.size() : first_cap;
+  std::uint8_t* p =
+      grow(out, 4 + header_block_wire_size(header_block.size(), first_cap,
+                                           max_frame_size));
+  p = put_frame_header(p, first_len + 4, FrameType::kPushPromise,
+                       fits ? kFlagEndHeaders : 0, stream_id);
+  p = put_u32(p, promised_id & 0x7fffffff);
+  p = put_bytes(p, header_block.data(), first_len);
+  std::size_t pos = first_len;
+  while (pos < header_block.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(max_frame_size, header_block.size() - pos);
+    const bool last = pos + n == header_block.size();
+    p = put_frame_header(p, n, FrameType::kContinuation,
+                         last ? kFlagEndHeaders : 0, stream_id);
+    p = put_bytes(p, header_block.data() + pos, n);
+    pos += n;
+  }
+}
+
+void serialize_into(const Frame& frame, std::vector<std::uint8_t>& out,
+                    std::uint32_t max_frame_size) {
+  out.reserve(out.size() + serialized_size(frame, max_frame_size));
   std::visit(
       [&](const auto& f) {
         using T = std::decay_t<decltype(f)>;
         if constexpr (std::is_same_v<T, DataFrame>) {
-          put_frame_header(out, f.data.size(), FrameType::kData,
-                           f.end_stream ? kFlagEndStream : 0, f.stream_id);
-          out.insert(out.end(), f.data.begin(), f.data.end());
+          append_data_frame(out, f.stream_id, f.end_stream, f.data);
         } else if constexpr (std::is_same_v<T, HeadersFrame>) {
-          const std::size_t prio_len = f.priority ? 5 : 0;
-          const std::size_t first_cap = max_frame_size - prio_len;
-          const bool fits = f.header_block.size() <= first_cap;
-          const std::size_t first_len =
-              fits ? f.header_block.size() : first_cap;
-          std::uint8_t flags = 0;
-          if (f.end_stream) flags |= kFlagEndStream;
-          if (f.priority) flags |= kFlagPriority;
-          if (fits) flags |= kFlagEndHeaders;
-          put_frame_header(out, first_len + prio_len, FrameType::kHeaders,
-                           flags, f.stream_id);
-          if (f.priority) put_priority(out, *f.priority);
-          out.insert(out.end(), f.header_block.begin(),
-                     f.header_block.begin() +
-                         static_cast<std::ptrdiff_t>(first_len));
-          // CONTINUATION frames for the remainder.
-          std::size_t pos = first_len;
-          while (pos < f.header_block.size()) {
-            const std::size_t n =
-                std::min<std::size_t>(max_frame_size,
-                                      f.header_block.size() - pos);
-            const bool last = pos + n == f.header_block.size();
-            put_frame_header(out, n, FrameType::kContinuation,
-                             last ? kFlagEndHeaders : 0, f.stream_id);
-            out.insert(out.end(), f.header_block.begin() +
-                                      static_cast<std::ptrdiff_t>(pos),
-                       f.header_block.begin() +
-                           static_cast<std::ptrdiff_t>(pos + n));
-            pos += n;
-          }
+          append_headers_frame(out, f.stream_id, f.end_stream, f.priority,
+                               f.header_block, max_frame_size);
         } else if constexpr (std::is_same_v<T, PriorityFrame>) {
-          put_frame_header(out, 5, FrameType::kPriority, 0, f.stream_id);
-          put_priority(out, f.priority);
+          std::uint8_t* p = grow(out, kFrameHeader + 5);
+          p = put_frame_header(p, 5, FrameType::kPriority, 0, f.stream_id);
+          put_priority(p, f.priority);
         } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
-          put_frame_header(out, 4, FrameType::kRstStream, 0, f.stream_id);
-          put_u32(out, static_cast<std::uint32_t>(f.error));
+          std::uint8_t* p = grow(out, kFrameHeader + 4);
+          p = put_frame_header(p, 4, FrameType::kRstStream, 0, f.stream_id);
+          put_u32(p, static_cast<std::uint32_t>(f.error));
         } else if constexpr (std::is_same_v<T, SettingsFrame>) {
-          put_frame_header(out, f.ack ? 0 : f.settings.size() * 6,
-                           FrameType::kSettings, f.ack ? kFlagAck : 0, 0);
+          const std::size_t len = f.ack ? 0 : f.settings.size() * 6;
+          std::uint8_t* p = grow(out, kFrameHeader + len);
+          p = put_frame_header(p, len, FrameType::kSettings,
+                               f.ack ? kFlagAck : 0, 0);
           if (!f.ack) {
             for (const auto& [id, value] : f.settings) {
-              put_u16(out, static_cast<std::uint16_t>(id));
-              put_u32(out, value);
+              p = put_u16(p, static_cast<std::uint16_t>(id));
+              p = put_u32(p, value);
             }
           }
         } else if constexpr (std::is_same_v<T, PushPromiseFrame>) {
-          const std::size_t first_cap = max_frame_size - 4;
-          const bool fits = f.header_block.size() <= first_cap;
-          const std::size_t first_len =
-              fits ? f.header_block.size() : first_cap;
-          put_frame_header(out, first_len + 4, FrameType::kPushPromise,
-                           fits ? kFlagEndHeaders : 0, f.stream_id);
-          put_u32(out, f.promised_id & 0x7fffffff);
-          out.insert(out.end(), f.header_block.begin(),
-                     f.header_block.begin() +
-                         static_cast<std::ptrdiff_t>(first_len));
-          std::size_t pos = first_len;
-          while (pos < f.header_block.size()) {
-            const std::size_t n =
-                std::min<std::size_t>(max_frame_size,
-                                      f.header_block.size() - pos);
-            const bool last = pos + n == f.header_block.size();
-            put_frame_header(out, n, FrameType::kContinuation,
-                             last ? kFlagEndHeaders : 0, f.stream_id);
-            out.insert(out.end(), f.header_block.begin() +
-                                      static_cast<std::ptrdiff_t>(pos),
-                       f.header_block.begin() +
-                           static_cast<std::ptrdiff_t>(pos + n));
-            pos += n;
-          }
+          append_push_promise_frame(out, f.stream_id, f.promised_id,
+                                    f.header_block, max_frame_size);
         } else if constexpr (std::is_same_v<T, PingFrame>) {
-          put_frame_header(out, 8, FrameType::kPing, f.ack ? kFlagAck : 0, 0);
+          std::uint8_t* p = grow(out, kFrameHeader + 8);
+          p = put_frame_header(p, 8, FrameType::kPing, f.ack ? kFlagAck : 0,
+                               0);
           for (int i = 7; i >= 0; --i) {
-            out.push_back(static_cast<std::uint8_t>(f.opaque >> (8 * i)));
+            *p++ = static_cast<std::uint8_t>(f.opaque >> (8 * i));
           }
         } else if constexpr (std::is_same_v<T, GoawayFrame>) {
-          put_frame_header(out, 8 + f.debug_data.size(), FrameType::kGoaway,
-                           0, 0);
-          put_u32(out, f.last_stream_id & 0x7fffffff);
-          put_u32(out, static_cast<std::uint32_t>(f.error));
-          out.insert(out.end(), f.debug_data.begin(), f.debug_data.end());
+          std::uint8_t* p = grow(out, kFrameHeader + 8 + f.debug_data.size());
+          p = put_frame_header(p, 8 + f.debug_data.size(), FrameType::kGoaway,
+                               0, 0);
+          p = put_u32(p, f.last_stream_id & 0x7fffffff);
+          p = put_u32(p, static_cast<std::uint32_t>(f.error));
+          put_bytes(p, reinterpret_cast<const std::uint8_t*>(
+                           f.debug_data.data()),
+                    f.debug_data.size());
         } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
-          put_frame_header(out, 4, FrameType::kWindowUpdate, 0, f.stream_id);
-          put_u32(out, f.increment & 0x7fffffff);
+          std::uint8_t* p = grow(out, kFrameHeader + 4);
+          p = put_frame_header(p, 4, FrameType::kWindowUpdate, 0,
+                               f.stream_id);
+          put_u32(p, f.increment & 0x7fffffff);
         } else if constexpr (std::is_same_v<T, ExtensionFrame>) {
-          put_frame_header(out, f.payload.size(),
-                           static_cast<FrameType>(f.type), f.flags,
-                           f.stream_id);
-          out.insert(out.end(), f.payload.begin(), f.payload.end());
+          std::uint8_t* p = grow(out, kFrameHeader + f.payload.size());
+          p = put_frame_header(p, f.payload.size(),
+                               static_cast<FrameType>(f.type), f.flags,
+                               f.stream_id);
+          put_bytes(p, f.payload.data(), f.payload.size());
         }
       },
       frame);
+}
+
+std::vector<std::uint8_t> serialize(const Frame& frame,
+                                    std::uint32_t max_frame_size) {
+  std::vector<std::uint8_t> out;
+  serialize_into(frame, out, max_frame_size);
   return out;
 }
 

@@ -148,12 +148,48 @@ using Frame = std::variant<DataFrame, HeadersFrame, PriorityFrame,
                            PingFrame, GoawayFrame, WindowUpdateFrame,
                            ExtensionFrame>;
 
-/// Serialize any frame, splitting header blocks into HEADERS/PUSH_PROMISE +
-/// CONTINUATION when they exceed `max_frame_size`. DATA frames must already
-/// respect max_frame_size (the connection chunks them).
+/// Exact wire size of `frame` (header + payload + any CONTINUATIONs).
+std::size_t serialized_size(const Frame& frame,
+                            std::uint32_t max_frame_size =
+                                kDefaultMaxFrameSize);
+
+/// Append the serialization of `frame` to `out`, splitting header blocks
+/// into HEADERS/PUSH_PROMISE + CONTINUATION when they exceed
+/// `max_frame_size`. DATA frames must already respect max_frame_size (the
+/// connection chunks them). Reserves the exact wire size up front and
+/// writes with bulk copies, so a caller reusing `out` pays no per-byte
+/// work and no allocation once the buffer is warm.
+void serialize_into(const Frame& frame, std::vector<std::uint8_t>& out,
+                    std::uint32_t max_frame_size = kDefaultMaxFrameSize);
+
+/// Serialize any frame into a fresh buffer (exact-size allocation).
 std::vector<std::uint8_t> serialize(const Frame& frame,
                                     std::uint32_t max_frame_size =
                                         kDefaultMaxFrameSize);
+
+// Allocation-free appenders for the connection's hot send paths: they
+// build the frame directly in the caller's buffer, skipping the Frame
+// variant and its owned payload vectors entirely.
+
+/// Append one DATA frame carrying `payload` (must fit max_frame_size).
+void append_data_frame(std::vector<std::uint8_t>& out,
+                       std::uint32_t stream_id, bool end_stream,
+                       std::span<const std::uint8_t> payload);
+
+/// Append a HEADERS frame (+ CONTINUATIONs) carrying an encoded block.
+void append_headers_frame(std::vector<std::uint8_t>& out,
+                          std::uint32_t stream_id, bool end_stream,
+                          const std::optional<PrioritySpec>& priority,
+                          std::span<const std::uint8_t> header_block,
+                          std::uint32_t max_frame_size = kDefaultMaxFrameSize);
+
+/// Append a PUSH_PROMISE frame (+ CONTINUATIONs) carrying an encoded block.
+void append_push_promise_frame(std::vector<std::uint8_t>& out,
+                               std::uint32_t stream_id,
+                               std::uint32_t promised_id,
+                               std::span<const std::uint8_t> header_block,
+                               std::uint32_t max_frame_size =
+                                   kDefaultMaxFrameSize);
 
 /// Incremental parser over the connection byte stream. The caller feeds
 /// arbitrary chunks; complete frames come back in order. The client

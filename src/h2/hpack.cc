@@ -184,6 +184,14 @@ void HpackEncoder::encode_string(const std::string& s, bool use_huffman,
 std::vector<std::uint8_t> HpackEncoder::encode(const http::HeaderBlock& block,
                                                bool use_huffman) {
   std::vector<std::uint8_t> out;
+  encode_into(block, out, use_huffman);
+  return out;
+}
+
+void HpackEncoder::encode_into(const http::HeaderBlock& block,
+                               std::vector<std::uint8_t>& out,
+                               bool use_huffman) {
+  out.clear();
   if (pending_size_update_) {
     hpack_encode_int(pending_size_, 5, 0x20, out);
     pending_size_update_ = false;
@@ -213,7 +221,6 @@ std::vector<std::uint8_t> HpackEncoder::encode(const http::HeaderBlock& block,
     encode_string(h.value, use_huffman, out);
     table_.add(h.name, h.value);
   }
-  return out;
 }
 
 util::Expected<http::Header, std::string> HpackDecoder::lookup(

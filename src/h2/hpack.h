@@ -68,6 +68,11 @@ class HpackEncoder {
   std::vector<std::uint8_t> encode(const http::HeaderBlock& block,
                                    bool use_huffman = true);
 
+  /// Encode into a caller-owned buffer (cleared first). Reusing one buffer
+  /// per connection keeps the encode path allocation-free once warm.
+  void encode_into(const http::HeaderBlock& block,
+                   std::vector<std::uint8_t>& out, bool use_huffman = true);
+
   /// Emit a dynamic table size update at the start of the next block.
   void set_table_size(std::size_t max);
 

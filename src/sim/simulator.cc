@@ -1,40 +1,69 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 namespace h2push::sim {
 
-EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  live_.push_back(true);  // index id - 1
-  return id;
+namespace {
+constexpr std::size_t kBlockSize = 128;  // nodes per pool block
+}  // namespace
+
+Simulator::EventNode* Simulator::allocate_node() {
+  if (free_list_ == nullptr) {
+    auto block = std::make_unique<EventNode[]>(kBlockSize);
+    nodes_.reserve(nodes_.size() + kBlockSize);
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      EventNode* node = &block[i];
+      node->slot = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(node);
+      node->next_free = free_list_;
+      free_list_ = node;
+    }
+    blocks_.push_back(std::move(block));
+  }
+  EventNode* node = free_list_;
+  free_list_ = node->next_free;
+  node->next_free = nullptr;
+  return node;
+}
+
+void Simulator::release_node(EventNode* node) {
+  node->fn.reset();
+  node->queued = false;
+  node->cancelled = false;
+  ++node->generation;  // invalidate outstanding EventIds for this node
+  node->next_free = free_list_;
+  free_list_ = node;
 }
 
 void Simulator::cancel(EventId id) {
-  // Only ids still live may enter cancelled_: cancelling a fired, foreign,
-  // or doubly-cancelled id must not grow the set, or pending_events()
-  // (queue size minus cancellations) would drift and eventually wrap.
-  if (id == kInvalidEvent || id >= next_id_ || !live_[id - 1]) return;
-  live_[id - 1] = false;
-  cancelled_.insert(id);
+  if (id == kInvalidEvent) return;
+  const std::uint64_t slot_plus_one = id & 0xffffffffULL;
+  if (slot_plus_one == 0 || slot_plus_one > nodes_.size()) return;
+  EventNode* node = nodes_[slot_plus_one - 1];
+  if (node->generation != static_cast<std::uint32_t>(id >> 32)) {
+    return;  // already fired or cancelled-and-recycled: stale id
+  }
+  if (!node->queued || node->cancelled) return;
+  node->cancelled = true;
+  ++cancelled_count_;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; move out via const_cast is UB-adjacent,
-    // so copy the small members and move the functor after pop.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    EventNode* node = queue_.top().node;
+    const Time time = queue_.top().time;
     queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    // Popped: cancel() of this event's id must become a no-op from here on
+    // (including from inside its own callback).
+    node->queued = false;
+    if (node->cancelled) {
+      --cancelled_count_;
+      release_node(node);
       continue;
     }
-    live_[ev.id - 1] = false;
-    now_ = ev.time;
+    now_ = time;
     ++executed_;
-    ev.fn();
+    node->fn();
+    release_node(node);
     return true;
   }
   return false;
@@ -47,8 +76,13 @@ void Simulator::run(Time deadline) {
   }
 }
 
-std::size_t Simulator::pending_events() const noexcept {
-  return queue_.size() - cancelled_.size();
+std::size_t Simulator::pooled_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const EventNode* node = free_list_; node != nullptr;
+       node = node->next_free) {
+    ++n;
+  }
+  return n;
 }
 
 }  // namespace h2push::sim

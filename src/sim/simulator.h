@@ -5,12 +5,24 @@
 // instant run in the order they were scheduled. Cancellation is lazy (O(1)),
 // which suits the TCP retransmission timers that are rescheduled on every
 // ACK.
+//
+// The schedule/fire path is the simulator's hottest loop — a page-load sweep
+// executes tens of millions of events — so it is allocation-free in steady
+// state: callbacks live in fixed inline storage inside pooled event nodes
+// (an intrusive free list recycles nodes as they fire), the priority queue
+// holds 24-byte {time, seq, node*} entries, and cancellation is a flag on
+// the node plus a counter instead of a node-based set. Stale EventIds
+// (fired, cancelled, or recycled) are rejected via a per-node generation
+// tag packed into the id, so cancel() keeps its "any id is safe" contract.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -19,6 +31,56 @@ namespace h2push::sim {
 
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
+
+namespace detail {
+
+/// Move-nothing callable container with inline storage sized for the event
+/// lambdas the network stack schedules (they capture `this` plus a handful
+/// of values). Callables larger than the buffer fall back to one heap
+/// allocation; none of the hot paths need it. Constructed in place inside a
+/// pooled EventNode and never relocated, so no move support is required.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 64;
+
+  EventFn() = default;
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    reset();
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      destroy_ = [](void* p) { delete *static_cast<Fn**>(p); };
+    }
+  }
+
+  void operator()() { invoke_(storage_); }
+
+  void reset() {
+    if (destroy_ != nullptr) {
+      destroy_(storage_);
+      destroy_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace detail
 
 class Simulator {
  public:
@@ -29,16 +91,28 @@ class Simulator {
   Time now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute time `t` (clamped to now()).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_at(Time t, F&& fn) {
+    if (t < now_) t = now_;
+    EventNode* node = allocate_node();
+    node->fn.emplace(std::forward<F>(fn));
+    node->queued = true;
+    node->cancelled = false;
+    queue_.push(QueueEntry{t, next_seq_++, node});
+    return (static_cast<EventId>(node->generation) << 32) |
+           static_cast<EventId>(node->slot + 1);
+  }
 
   /// Schedule `fn` `delay` after now().
-  EventId schedule_in(Time delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_in(Time delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Cancel a pending event. Safe to call with kInvalidEvent, an id that
   /// already fired, an id that was never issued, or an id cancelled before
-  /// (all no-ops): only live ids enter the cancelled set, so
+  /// (all no-ops): the generation tag in the id mismatches once a node is
+  /// recycled, and the queued/cancelled flags reject the rest, so
   /// pending_events() stays exact.
   void cancel(EventId id);
 
@@ -48,30 +122,48 @@ class Simulator {
   /// Run until the queue is empty or `deadline` is reached.
   void run(Time deadline = INT64_MAX);
 
-  std::size_t pending_events() const noexcept;
+  std::size_t pending_events() const noexcept {
+    return queue_.size() - cancelled_count_;
+  }
   std::uint64_t executed_events() const noexcept { return executed_; }
 
+  /// Nodes currently on the free list (observability for pool tests).
+  std::size_t pooled_nodes() const noexcept;
+
  private:
-  struct Event {
+  struct EventNode {
+    detail::EventFn fn;
+    EventNode* next_free = nullptr;  // intrusive free list link
+    std::uint32_t slot = 0;          // index into nodes_, stable for life
+    std::uint32_t generation = 1;    // bumped on recycle; stale ids mismatch
+    bool queued = false;             // in queue_ and not yet popped
+    bool cancelled = false;
+  };
+
+  struct QueueEntry {
     Time time;
-    EventId id;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const noexcept {
+    std::uint64_t seq;  // FIFO among same-time events
+    EventNode* node;
+    bool operator>(const QueueEntry& other) const noexcept {
       if (time != other.time) return time > other.time;
-      return id > other.id;  // FIFO among same-time events
+      return seq > other.seq;
     }
   };
 
+  EventNode* allocate_node();
+  void release_node(EventNode* node);
+
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // live_[id - 1]: event `id` is scheduled and neither fired nor cancelled.
-  // Ids are issued sequentially, so a bit vector gives O(1) membership with
-  // no per-event allocation (the schedule/fire path is the simulator's
-  // hottest loop; a node-based set here costs several percent end to end).
-  std::vector<bool> live_;
-  std::unordered_set<EventId> cancelled_;  // subset of queued event ids
+  std::size_t cancelled_count_ = 0;  // cancelled entries still in queue_
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  // Pool backing storage: nodes are allocated in blocks and never freed
+  // until the simulator dies; nodes_ maps slot → node for cancel().
+  std::vector<std::unique_ptr<EventNode[]>> blocks_;
+  std::vector<EventNode*> nodes_;
+  EventNode* free_list_ = nullptr;
 };
 
 }  // namespace h2push::sim

@@ -1,0 +1,200 @@
+// ParallelRunner tests: submission-order results, exactly-once execution,
+// serial fallback, exception propagation (lowest index wins), the
+// H2PUSH_JOBS default, and the determinism contract — a parallel sweep is
+// byte-identical to the serial one and leaves no global state behind that
+// could perturb a later traced run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/runner.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace.h"
+#include "web/profiles.h"
+
+namespace h2push {
+namespace {
+
+// ------------------------------------------------------------- mechanics
+
+TEST(ParallelRunner, MapReturnsResultsInSubmissionOrder) {
+  core::ParallelRunner runner(4);
+  EXPECT_EQ(runner.jobs(), 4);
+  const auto out = runner.map<int>(
+      200, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 200u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelRunner, ForEachRunsEveryTaskExactlyOnce) {
+  core::ParallelRunner runner(3);
+  std::vector<int> hits(500, 0);
+  std::atomic<int> total{0};
+  runner.for_each(hits.size(), [&](std::size_t i) {
+    ++hits[i];  // each slot is written by exactly one task
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 500);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelRunner, ReusableAcrossBatches) {
+  core::ParallelRunner runner(2);
+  for (int batch = 0; batch < 10; ++batch) {
+    const auto out =
+        runner.map<int>(17, [batch](std::size_t i) {
+          return batch * 100 + static_cast<int>(i);
+        });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], batch * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ParallelRunner, Jobs1RunsInlineOnTheCallingThread) {
+  core::ParallelRunner runner(1);
+  EXPECT_EQ(runner.jobs(), 1);
+  const auto caller = std::this_thread::get_id();
+  bool inline_everywhere = true;
+  runner.for_each(25, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) inline_everywhere = false;
+  });
+  EXPECT_TRUE(inline_everywhere);
+}
+
+TEST(ParallelRunner, DefaultJobsHonorsEnvOverride) {
+  ::setenv("H2PUSH_JOBS", "3", 1);
+  EXPECT_EQ(core::ParallelRunner::default_jobs(), 3);
+  ::unsetenv("H2PUSH_JOBS");
+  EXPECT_GE(core::ParallelRunner::default_jobs(), 1);
+}
+
+// ------------------------------------------------------------ exceptions
+
+TEST(ParallelRunner, ExceptionFromLowestIndexPropagates) {
+  core::ParallelRunner runner(4);
+  std::atomic<int> survivors{0};
+  try {
+    runner.for_each(64, [&](std::size_t i) {
+      if (i == 7 || i == 3 || i == 50) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+      survivors.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  // The batch still drains: non-throwing tasks all ran.
+  EXPECT_EQ(survivors.load(), 61);
+}
+
+TEST(ParallelRunner, ExceptionPropagatesFromSerialFallback) {
+  core::ParallelRunner runner(1);
+  EXPECT_THROW(runner.for_each(10,
+                               [](std::size_t i) {
+                                 if (i == 4) throw std::logic_error("serial");
+                               }),
+               std::logic_error);
+}
+
+TEST(ParallelRunner, UsableAgainAfterAnException) {
+  core::ParallelRunner runner(4);
+  EXPECT_THROW(
+      runner.for_each(8, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  const auto out = runner.map<int>(8, [](std::size_t i) {
+    return static_cast<int>(i) + 1;
+  });
+  EXPECT_EQ(out[7], 8);
+}
+
+// ---------------------------------------------------------- determinism
+
+core::Strategy push_two(const web::Site& site) {
+  core::Strategy s;
+  s.name = "push-two";
+  s.client_push_enabled = true;
+  int n = 0;
+  for (const auto& r : site.plan.resources) {
+    if (++n > 2) break;
+    s.push_urls.push_back("https://" + r.host + r.path);
+  }
+  return s;
+}
+
+TEST(ParallelRunner, SweepIsByteIdenticalToSerial) {
+  const auto site = web::make_synthetic_site(2);
+  const auto strategy = push_two(site);
+  core::RunConfig cfg;
+  const int runs = 9;
+
+  const auto serial = core::run_repeated(site, strategy, cfg, runs);
+  core::ParallelRunner runner(4);
+  const auto parallel = core::run_repeated(site, strategy, cfg, runs, runner);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Bit-exact, not approximately equal: the parallel path must replay the
+    // very same simulation, so the doubles match to the last bit.
+    EXPECT_EQ(std::memcmp(&serial[i].plt_ms, &parallel[i].plt_ms,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&serial[i].speed_index_ms,
+                          &parallel[i].speed_index_ms, sizeof(double)),
+              0);
+    EXPECT_EQ(serial[i].bytes_pushed, parallel[i].bytes_pushed);
+    EXPECT_EQ(serial[i].complete, parallel[i].complete);
+    ASSERT_EQ(serial[i].resources.size(), parallel[i].resources.size());
+    for (std::size_t r = 0; r < serial[i].resources.size(); ++r) {
+      EXPECT_EQ(serial[i].resources[r].url, parallel[i].resources[r].url);
+    }
+  }
+}
+
+TEST(ParallelRunner, PushOrderMatchesSerialComputation) {
+  const auto site = web::make_synthetic_site(3);
+  core::RunConfig cfg;
+  const auto serial = core::compute_push_order(site, cfg, 7);
+  core::ParallelRunner runner(3);
+  const auto parallel = core::compute_push_order(site, cfg, 7, runner);
+  EXPECT_EQ(serial.order, parallel.order);
+  EXPECT_EQ(serial.runs, parallel.runs);
+}
+
+TEST(ParallelRunner, ParallelSweepDoesNotPerturbTracedRuns) {
+  const auto site = web::make_synthetic_site(1);
+  const auto strategy = push_two(site);
+  core::RunConfig cfg;
+
+  trace::TraceRecorder before;
+  cfg.trace = &before;
+  core::run_page_load(site, strategy, cfg);
+
+  cfg.trace = nullptr;
+  core::ParallelRunner runner(4);
+  core::run_repeated(site, strategy, cfg, 8, runner);
+
+  trace::TraceRecorder after;
+  cfg.trace = &after;
+  core::run_page_load(site, strategy, cfg);
+
+  EXPECT_EQ(trace::to_chrome_trace_json(before),
+            trace::to_chrome_trace_json(after));
+  EXPECT_EQ(trace::summary_to_json(before.summary()),
+            trace::summary_to_json(after.summary()));
+}
+
+}  // namespace
+}  // namespace h2push
