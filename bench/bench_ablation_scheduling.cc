@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int runs = quick ? 5 : 15;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Ablations — scheduler, reprioritization, throttling, TLS",
                 "design choices from DESIGN.md §4");
 
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   {
     const auto named = web::make_w_site(1);
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     const auto order = core::compute_push_order(named.site, cfg, 5, runner);
     browser::BrowserConfig bc;
     const auto arms = core::make_fig6_arms(named.site, bc, order.order);
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
   {
     const auto site = web::make_synthetic_site(1);
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     const auto order = core::compute_push_order(site, cfg, 5, runner);
     report("no push", site, core::no_push(), cfg, runs, runner);
     report("push all, computed order", site,
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
       int improved = 0, worsened = 0;
       for (const auto& site : sites) {
         core::RunConfig cfg;
+        cfg.cache = cache.get();
         cfg.browser.delayable_throttling = throttle;
         const auto order = core::compute_push_order(site, cfg, 5, runner);
         const auto push = core::collect(core::run_repeated(
@@ -115,6 +119,7 @@ int main(int argc, char** argv) {
     // The TLS knob lives in sim::TcpConfig (tls_round_trips); the testbed
     // pins 2 (TLS 1.2, as deployed when the paper measured).
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     const auto result = core::run_page_load(named.site, core::no_push(), cfg);
     std::printf(
         "  %zu origins; each handshake costs 3 RTTs (TCP + TLS 1.2) = "

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const int n_sites = quick ? 10 : 40;
   const int runs = quick ? 5 : 15;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Extension — cache digests and server-aided hints",
                 "paper §2.1 (cache-status drafts) + MetaPush/Vroom baselines");
   bench::Stopwatch watch;
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
     std::vector<double> plt, si, wasted, cancels;
     for (const auto& site : sites) {
       core::RunConfig cfg;
+      cfg.cache = cache.get();
       const auto order = core::compute_push_order(site, cfg, 5, runner);
       core::Strategy strategy = core::no_push();
       if (arm.push) strategy = core::push_all(site, order.order);

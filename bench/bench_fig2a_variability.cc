@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const int n_sites = quick ? 20 : 100;
   const int runs = quick ? 9 : 31;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Fig. 2a — per-site std. error over repeated runs",
                 "Zimmermann et al., CoNEXT'18, Figure 2(a)");
   bench::Stopwatch watch;
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
     stats::Cdf plt_sigma, si_sigma;
     for (const auto& site : sites) {
       core::RunConfig cfg;
+      cfg.cache = cache.get();
       cfg.net = arm.internet ? sim::NetworkConditions::internet()
                              : sim::NetworkConditions::testbed();
       const core::Strategy strategy =
@@ -102,6 +104,7 @@ int main(int argc, char** argv) {
               watch.seconds(), n_sites, runs);
   report.elapsed_s = watch.seconds();
   report.extra["sites"] = static_cast<double>(sites.size());
+  bench::add_cache_stats(report, cache.get());
   bench::write_report(report);
   return 0;
 }

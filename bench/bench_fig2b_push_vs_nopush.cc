@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const int n_sites = quick ? 20 : 100;
   const int runs = quick ? 9 : 31;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Fig. 2b — Δ(push - no push) in the testbed",
                 "Zimmermann et al., CoNEXT'18, Figure 2(b)");
   bench::Stopwatch watch;
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   std::uint64_t total_loads = 0;
   for (const auto& site : sites) {
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     const auto push = core::collect(
         core::run_repeated(site, core::push_recorded(site), cfg, runs, runner));
     const auto nopush = core::collect(
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
   report.extra["no_benefit_si_pct"] =
       100 * (1 - delta_si.fraction_below(-1e-9));
   report.extra["sites"] = static_cast<double>(sites.size());
+  bench::add_cache_stats(report, cache.get());
   bench::write_report(report);
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const int runs = quick ? 7 : 31;
   const int order_runs = quick ? 5 : 31;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Fig. 3a — push all (computed order) vs no push",
                 "Zimmermann et al., CoNEXT'18, Figure 3(a)");
   bench::Stopwatch watch;
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     std::vector<double> push_plt_medians, push_si_medians;
     for (const auto& site : sites) {
       core::RunConfig cfg;
+      cfg.cache = cache.get();
       const auto order =
           core::compute_push_order(site, cfg, order_runs, runner);
       const auto push = core::collect(core::run_repeated(
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nelapsed: %.1fs\n", watch.seconds());
   report.elapsed_s = watch.seconds();
+  bench::add_cache_stats(report, cache.get());
   bench::write_report(report);
   return 0;
 }

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const int runs = quick ? 7 : 31;
   const int order_runs = quick ? 5 : 31;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Fig. 3b — push a limited amount of objects (random-100)",
                 "Zimmermann et al., CoNEXT'18, Figure 3(b)");
   bench::Stopwatch watch;
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
 
   for (const auto& site : sites) {
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto nopush = core::collect(
         core::run_repeated(site, core::no_push(), cfg, runs, runner));
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
     report.extra["delta_si_p50_push" + key + "_ms"] =
         delta_si[a].value_at(0.5);
   }
+  bench::add_cache_stats(report, cache.get());
   bench::write_report(report);
   return 0;
 }

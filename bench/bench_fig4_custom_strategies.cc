@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int runs = quick ? 9 : 31;
   const int order_runs = quick ? 5 : 15;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Fig. 4 — custom strategies on synthetic sites s1-s10",
                 "Zimmermann et al., CoNEXT'18, Figure 4");
   bench::Stopwatch watch;
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i <= 10; ++i) {
     const auto site = web::relocate_single_server(web::make_synthetic_site(i));
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     browser::BrowserConfig bc;
     const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto analysis = core::analyze_critical(site, bc);

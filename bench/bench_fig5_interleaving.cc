@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode(argc, argv);
   const int runs = quick ? 7 : 31;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Fig. 5b — SpeedIndex vs HTML size, interleaving push",
                 "Zimmermann et al., CoNEXT'18, Figure 5(b)");
   bench::Stopwatch watch;
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
     arms[0] = &nopush;
     for (int a = 0; a < 3; ++a) {
       core::RunConfig cfg;
+      cfg.cache = cache.get();
       const auto series =
           core::collect(core::run_repeated(site, *arms[a], cfg, runs, runner));
       report.total_loads += static_cast<std::uint64_t>(runs);
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
       "interleaving stays flat (~200ms)\n");
   std::printf("elapsed: %.1fs\n", watch.seconds());
   report.elapsed_s = watch.seconds();
+  bench::add_cache_stats(report, cache.get());
   bench::write_report(report);
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int order_runs = quick ? 5 : 15;
   const int first = 1, last = 20;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Fig. 6 — interleaving push strategies on w1-w20",
                 "Zimmermann et al., CoNEXT'18, Figure 6 and Table 1");
   bench::Stopwatch watch;
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     const auto named = web::make_w_site(i);
     const auto& site = named.site;
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     browser::BrowserConfig bc;
     const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto arms = core::make_fig6_arms(site, bc, order.order);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const int n_sites = quick ? 12 : 50;
   const int runs = quick ? 5 : 15;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("Baseline — HTTP/1.1 vs HTTP/2 vs HTTP/2 + push",
                 "paper §1/§3 framing; Wang et al. [37], Varvello et al. [35]");
   bench::Stopwatch watch;
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
     int h2_better = 0;
     for (const auto& site : sites) {
       core::RunConfig cfg;
+      cfg.cache = cache.get();
       cfg.net = cond.net;
       const auto order = core::compute_push_order(site, cfg, 5, runner);
 
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
   for (const int idx : {3, 5}) {  // s3 gallery (many objects), s5 compute
     const auto site = web::make_synthetic_site(idx);
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     core::RunConfig h1_cfg = cfg;
     h1_cfg.browser.use_http1 = true;
     const auto h1 = core::collect(

@@ -5,6 +5,10 @@
 // page loads).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "core/memo.h"
 #include "core/strategy.h"
 #include "core/testbed.h"
 #include "h2/frame.h"
@@ -63,6 +67,20 @@ void BM_HuffmanEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_HuffmanEncode);
 
+void BM_HuffmanDecode(benchmark::State& state) {
+  const std::string input =
+      "/very/long/path/with/segments/and-a-hash.0a1b2c3d4e5f.js";
+  std::vector<std::uint8_t> encoded;
+  h2::huffman_encode(input, encoded);
+  for (auto _ : state) {
+    auto decoded = h2::huffman_decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_HuffmanDecode);
+
 void BM_FrameParse(benchmark::State& state) {
   h2::DataFrame data;
   data.stream_id = 5;
@@ -105,6 +123,21 @@ void BM_PageLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_PageLoad)->Unit(benchmark::kMillisecond);
 
+void BM_PageLoadMemoized(benchmark::State& state) {
+  const auto profile = web::PopulationProfile::random100();
+  const auto site =
+      web::build_site(web::generate_page(profile, "bench-load", 99));
+  core::RunCache cache;
+  core::RunConfig cfg;
+  cfg.cache = &cache;
+  const auto strategy = core::no_push();
+  for (auto _ : state) {
+    cfg.run_index = static_cast<int>(state.iterations() % 1000);
+    benchmark::DoNotOptimize(core::run_page_load(site, strategy, cfg));
+  }
+}
+BENCHMARK(BM_PageLoadMemoized)->Unit(benchmark::kMicrosecond);
+
 void BM_SiteGeneration(benchmark::State& state) {
   const auto profile = web::PopulationProfile::top100();
   int i = 0;
@@ -117,4 +150,24 @@ BENCHMARK(BM_SiteGeneration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the harness-wide flags scripts/bench.sh passes uniformly
+  // (--quick, --jobs N, --cache DIR); google-benchmark rejects unknown
+  // arguments.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") continue;
+    if ((arg == "--jobs" || arg == "--cache") && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int runs = quick ? 7 : 31;
   const int order_runs = quick ? 5 : 31;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("§4.2.1 — pushing specific object types (random-100)",
                 "Zimmermann et al., CoNEXT'18, Section 4.2.1");
   bench::Stopwatch watch;
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
 
   for (const auto& site : sites) {
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     const auto order = core::compute_push_order(site, cfg, order_runs, runner);
     const auto nopush = core::collect(
         core::run_repeated(site, core::no_push(), cfg, runs, runner));

@@ -3,6 +3,7 @@
 // Paper anchor: 52 % of top-100 and 24 % of random-100 sites have < 20 %
 // pushable objects — many websites simply cannot push most of their page.
 #include "bench/common.h"
+#include "core/runner.h"
 #include "stats/cdf.h"
 #include "stats/descriptive.h"
 #include "web/corpus.h"
@@ -11,14 +12,21 @@ int main(int argc, char** argv) {
   using namespace h2push;
   const bool quick = bench::quick_mode(argc, argv);
   const int n_sites = quick ? 30 : 100;
+  core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  // Site synthesis dominates this bench; fan it across the runner (the
+  // population is identical for any jobs value — see web/corpus.h).
+  const web::ForEach fan = [&](std::size_t n,
+                               const std::function<void(std::size_t)>& body) {
+    runner.for_each(n, body);
+  };
   bench::header("§4.2 — fraction of pushable objects per site",
                 "Zimmermann et al., CoNEXT'18, Section 4.2");
 
   for (const bool top : {true, false}) {
     const auto profile = top ? web::PopulationProfile::top100()
                              : web::PopulationProfile::random100();
-    const auto sites =
-        web::generate_population(profile, n_sites, top ? 0x542A : 0x542B);
+    const auto sites = web::generate_population(profile, n_sites,
+                                                top ? 0x542A : 0x542B, fan);
     stats::Cdf pushable_frac;
     double objects_total = 0;
     for (const auto& site : sites) {

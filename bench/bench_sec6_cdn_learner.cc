@@ -4,6 +4,9 @@
 // structure-derived candidate family, evaluate each in the testbed, deploy
 // the winner — and compares the learned strategy against no-push and
 // against the hand-tailored push-critical-optimized arm of Fig. 6.
+#include <algorithm>
+#include <vector>
+
 #include "bench/common.h"
 #include "core/dependency.h"
 #include "core/learner.h"
@@ -20,9 +23,16 @@ int main(int argc, char** argv) {
   const int first = 1, last = quick ? 6 : 20;
   const int verify_runs = quick ? 7 : 15;
   core::ParallelRunner runner(bench::jobs_arg(argc, argv));
+  const auto cache = bench::make_cache(argc, argv);
   bench::header("§6 — CDN-style automatic strategy learning on w1-w20",
                 "Zimmermann et al., CoNEXT'18, Section 6 proposal");
   bench::Stopwatch watch;
+
+  bench::BenchReport report;
+  report.name = "sec6_cdn_learner";
+  report.runs = verify_runs;
+  report.jobs = runner.jobs();
+  std::vector<double> si_medians, plt_medians;
 
   std::printf("%-4s %-13s | %-18s %9s | %9s %9s\n", "site", "domain",
               "learned strategy", "SI vs np", "hand-crafted", "candidates");
@@ -30,6 +40,7 @@ int main(int argc, char** argv) {
   for (int i = first; i <= last; ++i) {
     const auto named = web::make_w_site(i);
     core::RunConfig cfg;
+    cfg.cache = cache.get();
     core::LearnerConfig lc;
     if (quick) {
       lc.runs_per_candidate = 5;
@@ -49,6 +60,16 @@ int main(int argc, char** argv) {
         named.site, core::no_push(), cfg, verify_runs, runner));
     const double hand_rel =
         (hand.si_median() - baseline.si_median()) / baseline.si_median();
+    si_medians.push_back(baseline.si_median());
+    plt_medians.push_back(baseline.plt_median());
+    // learn_strategy evaluates |candidates| × runs_per_candidate plus its
+    // internal order runs; the comparison arms add 2 × verify_runs plus the
+    // explicit push-order replays.
+    report.total_loads += learned.all.size() *
+                              static_cast<std::uint64_t>(lc.runs_per_candidate) +
+                          static_cast<std::uint64_t>(lc.order_runs) +
+                          static_cast<std::uint64_t>(quick ? 5 : 9) +
+                          2 * static_cast<std::uint64_t>(verify_runs);
 
     std::printf("%-4s %-13s | %-18s %8.1f%% | %11.1f%% %9zu\n",
                 named.label.c_str(), named.domain.c_str(),
@@ -70,5 +91,17 @@ int main(int argc, char** argv) {
       "beat no-push by >2%% fall back to no-push — automating the paper's\n"
       "conclusion that non-site-specific adoption can easily hurt.\n");
   std::printf("elapsed: %.1fs\n", watch.seconds());
+  report.elapsed_s = watch.seconds();
+  auto median_of = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  report.median_si_ms = median_of(si_medians);
+  report.median_plt_ms = median_of(plt_medians);
+  report.extra["learner_wins"] = learner_wins;
+  report.extra["learner_ties"] = ties;
+  bench::add_cache_stats(report, cache.get());
+  bench::write_report(report);
   return 0;
 }

@@ -8,8 +8,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "core/memo.h"
 #include "core/runner.h"
 
 namespace h2push::bench {
@@ -35,6 +37,21 @@ inline int jobs_arg(int argc, char** argv) {
     }
   }
   return core::ParallelRunner::default_jobs();  // env override or all cores
+}
+
+/// --cache DIR (or H2PUSH_CACHE=DIR) enables the content-addressed run
+/// cache (core/memo.h); "mem" selects the in-memory tier only, null when
+/// neither is given. Verify mode always comes from H2PUSH_CACHE_VERIFY.
+inline std::unique_ptr<core::RunCache> make_cache(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache") == 0) {
+      core::RunCache::Config config;
+      if (std::strcmp(argv[i + 1], "mem") != 0) config.dir = argv[i + 1];
+      config.verify = core::RunCache::verify_from_env();
+      return std::make_unique<core::RunCache>(std::move(config));
+    }
+  }
+  return core::RunCache::from_env();
 }
 
 inline void header(const std::string& title, const std::string& paper_ref) {
@@ -97,6 +114,19 @@ struct BenchReport {
   double elapsed_s = 0;
   std::map<std::string, double> extra;  ///< additional named series points
 };
+
+/// Fold the cache counters into the report (no-op for a null cache) so
+/// BENCH_*.json records how warm the run was alongside its runs_per_sec.
+inline void add_cache_stats(BenchReport& report, const core::RunCache* cache) {
+  if (cache == nullptr) return;
+  const core::RunCacheStats s = cache->stats();
+  report.extra["cache_hits"] = static_cast<double>(s.hits);
+  report.extra["cache_misses"] = static_cast<double>(s.misses);
+  report.extra["cache_hit_rate"] = s.hit_rate();
+  report.extra["cache_disk_hits"] = static_cast<double>(s.disk_hits);
+  report.extra["cache_bytes_read"] = static_cast<double>(s.bytes_read);
+  report.extra["cache_bytes_written"] = static_cast<double>(s.bytes_written);
+}
 
 inline void write_report(const BenchReport& report) {
   const std::string path = "BENCH_" + report.name + ".json";

@@ -6,10 +6,16 @@
 #   scripts/bench.sh                 # full paper-scale runs, all cores
 #   scripts/bench.sh --quick         # reduced populations/run counts
 #   scripts/bench.sh --jobs 4        # pin the runner's thread count
+#   scripts/bench.sh --cache DIR     # content-addressed run cache (memo.h)
 #   scripts/bench.sh --only fig5     # run harnesses matching a substring
 #
 # Flags other than --only are forwarded to each harness; the harnesses also
-# honor H2PUSH_QUICK=1 and H2PUSH_JOBS=N from the environment.
+# honor H2PUSH_QUICK=1, H2PUSH_JOBS=N, and H2PUSH_CACHE=DIR from the
+# environment.
+#
+# Reports from the previous invocation are kept under bench/prev/; after
+# the run a summary table compares each report against its predecessor
+# (runs/sec speedup, cache hit rate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 repo_root=$(pwd)
@@ -34,6 +40,15 @@ echo "=== build: Release (${build_dir}/) ==="
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" >/dev/null
 
+# Keep the previous run's reports for the comparison table.
+shopt -s nullglob
+prev_dir="$repo_root/bench/prev"
+old_reports=("$repo_root"/BENCH_*.json)
+if [[ ${#old_reports[@]} -gt 0 ]]; then
+  mkdir -p "$prev_dir"
+  mv "${old_reports[@]}" "$prev_dir/"
+fi
+
 # Run from a scratch directory so the reports can be collected explicitly;
 # binaries embed the source dir for provenance (git_describe).
 scratch=$(mktemp -d)
@@ -55,10 +70,37 @@ for bin in "$repo_root/$build_dir"/bench/bench_*; do
   fi
 done
 
-shopt -s nullglob
 reports=(BENCH_*.json)
 if [[ ${#reports[@]} -gt 0 ]]; then
   cp "${reports[@]}" "$repo_root/"
   echo "collected: ${reports[*]} -> $repo_root/"
+fi
+
+# json_field FILE KEY -> number (or empty when absent).
+json_field() {
+  sed -n "s/^  \"$2\": \([0-9.eE+-]*\),*$/\1/p" "$1" | head -n1
+}
+
+if [[ ${#reports[@]} -gt 0 ]]; then
+  echo
+  printf '%-28s %12s %12s %9s %9s\n' "report" "runs/s prev" "runs/s now" \
+    "speedup" "hit rate"
+  for report in "${reports[@]}"; do
+    now="$scratch/$report"
+    prev="$prev_dir/$report"
+    now_rps=$(json_field "$now" runs_per_sec)
+    hit_rate=$(json_field "$now" cache_hit_rate)
+    prev_rps="-"
+    speedup="-"
+    if [[ -f "$prev" ]]; then
+      prev_rps=$(json_field "$prev" runs_per_sec)
+      if [[ -n "$prev_rps" && -n "$now_rps" ]]; then
+        speedup=$(awk -v a="$now_rps" -v b="$prev_rps" \
+          'BEGIN { if (b > 0) printf "%.2fx", a / b; else print "-" }')
+      fi
+    fi
+    printf '%-28s %12s %12s %9s %9s\n' "${report#BENCH_}" \
+      "${prev_rps:--}" "${now_rps:--}" "$speedup" "${hit_rate:--}"
+  done
 fi
 exit "$status"

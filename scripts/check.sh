@@ -19,6 +19,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "=== run cache: warm sweep under H2PUSH_CACHE_VERIFY (build/) ==="
+# Cold pass fills a throwaway store; the warm pass answers from it with
+# every hit recomputed and compared byte-for-byte (core/memo.h) — any
+# divergence between cached and fresh simulation aborts the harness.
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+cmake --build build -j "$jobs" --target bench_fig3b_push_amount >/dev/null
+bench_bin=$(pwd)/build/bench/bench_fig3b_push_amount
+(cd "$cache_dir" &&
+  H2PUSH_CACHE="$cache_dir/store" \
+    "$bench_bin" --quick --jobs "$jobs" >/dev/null &&
+  H2PUSH_CACHE="$cache_dir/store" H2PUSH_CACHE_VERIFY=all \
+    "$bench_bin" --quick --jobs "$jobs" >/dev/null)
+echo "warm-cache verify pass OK"
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "=== OK (fast mode: sanitizer pass skipped) ==="
   exit 0

@@ -31,6 +31,14 @@ struct MonthlySample {
 
 /// Simulate the year: every site draws adoption dates from the logistic
 /// model; a monthly scan counts the sites that have adopted by then.
+/// Each site's draws are counter-based in (seed, site index), so any
+/// partition of the population reproduces the same totals.
 std::vector<MonthlySample> simulate_adoption(const AdoptionModelConfig& cfg);
+
+/// Scan only sites [begin, end). Summing the per-month counts of disjoint
+/// ranges covering the population equals simulate_adoption(cfg) exactly —
+/// the parallel bench harness fans ranges across its runner and merges.
+std::vector<MonthlySample> simulate_adoption_range(
+    const AdoptionModelConfig& cfg, std::size_t begin, std::size_t end);
 
 }  // namespace h2push::adoption

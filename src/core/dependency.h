@@ -6,6 +6,10 @@
 // unstable across runs, a majority vote decides. We replay without push,
 // take each run's fetch-initiation order, and aggregate with the
 // majority-vote rank aggregation in stats/rank.h.
+//
+// The no-push replays here are the same (site, no-push, seed, run_index)
+// tuples every baseline measurement uses, so with RunConfig.cache set
+// (core/memo.h) they are computed at most once per corpus.
 #pragma once
 
 #include <string>

@@ -62,6 +62,12 @@ class ParallelRunner;
 /// When `runner` is non-null the per-candidate replays fan across its
 /// threads; the learned strategy is identical either way (candidates are
 /// scored from run-indexed results, in candidate order).
+///
+/// The learner is the highest-hit-rate consumer of the run cache
+/// (config.cache, core/memo.h): candidate families overlap across
+/// invocations (no-push baseline, push-first-n prefixes, aliased custom
+/// lists), and cache keys ignore cosmetic strategy names, so re-learning
+/// after a corpus or config tweak only pays for what actually changed.
 LearnerOutput learn_strategy(const web::Site& site, RunConfig config,
                              const LearnerConfig& learner = {},
                              ParallelRunner* runner = nullptr);

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 
+#include "core/memo.h"
 #include "core/runner.h"
 #include "server/h1_replay_server.h"
 #include "server/replay_server.h"
@@ -191,11 +192,11 @@ class H1SimTransport final : public browser::ClientTransport {
   std::function<void()> writable_cb_;
 };
 
-}  // namespace
-
-browser::PageLoadResult run_page_load(const web::Site& site,
-                                      const Strategy& strategy,
-                                      const RunConfig& config) {
+/// The actual simulation, always executed on a cache miss (and on every
+/// traced run — a cached result cannot reproduce the event stream).
+browser::PageLoadResult run_page_load_uncached(const web::Site& site,
+                                               const Strategy& strategy,
+                                               const RunConfig& config) {
   sim::Simulator sim;
   util::Rng master(config.seed ^ util::hash64(site.name) ^
                    (0x9e3779b97f4a7c15ULL *
@@ -331,7 +332,38 @@ browser::PageLoadResult run_page_load(const web::Site& site,
                      "browser", "mark.firstPaint",
                      {{"ms", result.first_paint_ms}});
     }
+    if (config.cache != nullptr) {
+      // Traced runs bypass the cache, but the summary still reports the
+      // cache's cumulative effectiveness for the surrounding sweep.
+      const auto cs = config.cache->stats();
+      s.extra["cache.hits"] = static_cast<double>(cs.hits);
+      s.extra["cache.misses"] = static_cast<double>(cs.misses);
+      s.extra["cache.hit_rate"] = cs.hit_rate();
+      s.extra["cache.bytes_read"] = static_cast<double>(cs.bytes_read);
+      s.extra["cache.bytes_written"] = static_cast<double>(cs.bytes_written);
+    }
   }
+  return result;
+}
+
+}  // namespace
+
+browser::PageLoadResult run_page_load(const web::Site& site,
+                                      const Strategy& strategy,
+                                      const RunConfig& config) {
+  RunCache* cache = config.cache;
+  if (cache == nullptr || config.trace != nullptr) {
+    return run_page_load_uncached(site, strategy, config);
+  }
+  const util::Hash128 key = cache->key(site, strategy, config);
+  if (const auto hit = cache->lookup(key)) {
+    if (cache->should_verify(key)) {
+      cache->verify(key, *hit, run_page_load_uncached(site, strategy, config));
+    }
+    return *hit;
+  }
+  auto result = run_page_load_uncached(site, strategy, config);
+  cache->store(key, result);
   return result;
 }
 

@@ -21,6 +21,8 @@ class TraceRecorder;
 
 namespace h2push::core {
 
+class RunCache;
+
 struct RunConfig {
   sim::NetworkConditions net = sim::NetworkConditions::testbed();
   browser::BrowserConfig browser;
@@ -31,6 +33,13 @@ struct RunConfig {
   /// testbed registers the tracks, wires the recorder through every layer,
   /// and finalizes TraceSummary (link utilization, run span, PLT/SI marks).
   trace::TraceRecorder* trace = nullptr;
+  /// Optional content-addressed result cache (core/memo.h; null = off).
+  /// run_page_load consults it before simulating and stores misses, so
+  /// every consumer that copies this config — run_repeated,
+  /// compute_push_order, learn_strategy, the bench harnesses — memoizes
+  /// automatically. Traced runs bypass the cache (a cached result cannot
+  /// replay the event stream). Safe to share across ParallelRunner workers.
+  RunCache* cache = nullptr;
 };
 
 /// Replay `site` once under `strategy`.

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 namespace h2push::h2 {
 namespace {
@@ -80,28 +82,112 @@ constexpr std::array<Code, 257> kCodes = {{
     {0x3fffffff, 30},
 }};
 
-// Decoding trie: two children per node; leaves store the symbol.
+// Decoding trie: two children per node; leaves store the symbol. Only used
+// once, to build the nibble FSM below — the decode hot path never walks it.
 struct TrieNode {
   std::int16_t symbol = -1;  // >= 0 at leaves
   std::unique_ptr<TrieNode> child[2];
 };
 
-const TrieNode* decode_trie() {
-  static const std::unique_ptr<TrieNode> root = [] {
-    auto r = std::make_unique<TrieNode>();
-    for (int sym = 0; sym < 257; ++sym) {
-      const Code c = kCodes[static_cast<std::size_t>(sym)];
-      TrieNode* node = r.get();
-      for (int bit = c.len - 1; bit >= 0; --bit) {
-        const int b = static_cast<int>((c.bits >> bit) & 1u);
-        if (!node->child[b]) node->child[b] = std::make_unique<TrieNode>();
-        node = node->child[b].get();
-      }
-      node->symbol = static_cast<std::int16_t>(sym);
+std::unique_ptr<TrieNode> build_trie() {
+  auto r = std::make_unique<TrieNode>();
+  for (int sym = 0; sym < 257; ++sym) {
+    const Code c = kCodes[static_cast<std::size_t>(sym)];
+    TrieNode* node = r.get();
+    for (int bit = c.len - 1; bit >= 0; --bit) {
+      const int b = static_cast<int>((c.bits >> bit) & 1u);
+      if (!node->child[b]) node->child[b] = std::make_unique<TrieNode>();
+      node = node->child[b].get();
     }
-    return r;
+    node->symbol = static_cast<std::int16_t>(sym);
+  }
+  return r;
+}
+
+// Table-driven decoder: a finite state machine that consumes a nibble per
+// step instead of a bit. States are the trie's internal nodes (the partial
+// code read so far); each (state, nibble) entry precomputes the next state,
+// at most one emitted symbol (the minimum code length is 5 bits, so a
+// second code can never complete within the ≤3 bits left after a reset),
+// and whether the walk hit EOS or fell off the trie. Padding validity
+// becomes a per-state accept bit: the final state must be the root or an
+// all-ones prefix of EOS shorter than 8 bits (RFC 7541 §5.2).
+struct DecodeTable {
+  struct Entry {
+    std::uint16_t next = 0;   // state index after the nibble
+    std::uint8_t flags = 0;
+    std::uint8_t symbol = 0;  // valid when kEmit
+  };
+  static constexpr std::uint8_t kEmit = 1;  // entry emits `symbol`
+  static constexpr std::uint8_t kFail = 2;  // no code matches these bits
+  static constexpr std::uint8_t kEos = 4;   // the EOS code completed
+
+  std::vector<Entry> entries;       // states × 16, row-major by state
+  std::vector<std::uint8_t> accept;  // per state: valid final padding?
+};
+
+const DecodeTable& decode_table() {
+  static const DecodeTable table = [] {
+    const auto root = build_trie();
+
+    // Index the internal nodes; they are the FSM states, root = state 0.
+    std::vector<const TrieNode*> states;
+    std::unordered_map<const TrieNode*, std::uint16_t> index;
+    const auto add_state = [&](const TrieNode* n) {
+      index.emplace(n, static_cast<std::uint16_t>(states.size()));
+      states.push_back(n);
+    };
+    add_state(root.get());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      for (const auto& child : states[i]->child) {
+        if (child && child->symbol < 0) add_state(child.get());
+      }
+    }
+
+    DecodeTable t;
+    t.entries.resize(states.size() * 16);
+    t.accept.assign(states.size(), 0);
+
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      for (std::uint32_t nib = 0; nib < 16; ++nib) {
+        DecodeTable::Entry e;
+        const TrieNode* node = states[s];
+        for (int bit = 3; bit >= 0; --bit) {
+          const int b = static_cast<int>((nib >> bit) & 1u);
+          const TrieNode* next = node->child[b].get();
+          if (next == nullptr) {
+            e.flags |= DecodeTable::kFail;
+            break;
+          }
+          if (next->symbol == 256) {
+            e.flags |= DecodeTable::kEos;
+            break;
+          }
+          if (next->symbol >= 0) {
+            e.flags |= DecodeTable::kEmit;
+            e.symbol = static_cast<std::uint8_t>(next->symbol);
+            node = root.get();
+          } else {
+            node = next;
+          }
+        }
+        e.next = index.at(node);
+        t.entries[s * 16 + nib] = e;
+      }
+    }
+
+    // Accept states: the root, and every all-ones path of depth 1..7 (a
+    // prefix of the 30-one EOS code — padding longer than 7 bits is an
+    // error even when all ones).
+    const TrieNode* node = root.get();
+    t.accept[0] = 1;
+    for (int depth = 1; depth <= 7; ++depth) {
+      node = node->child[1].get();
+      t.accept[index.at(node)] = 1;
+    }
+    return t;
   }();
-  return root.get();
+  return table;
 }
 
 }  // namespace
@@ -134,35 +220,29 @@ void huffman_encode(std::string_view s, std::vector<std::uint8_t>& out) {
 
 util::Expected<std::string, std::string> huffman_decode(
     std::span<const std::uint8_t> input) {
+  const DecodeTable& table = decode_table();
+  const DecodeTable::Entry* entries = table.entries.data();
   std::string out;
   out.reserve(input.size() * 2);
-  const TrieNode* root = decode_trie();
-  const TrieNode* node = root;
-  int depth = 0;        // bits in the current partial code
-  bool all_ones = true; // partial code is a prefix of EOS
+  std::uint32_t state = 0;
   for (std::uint8_t byte : input) {
-    for (int bit = 7; bit >= 0; --bit) {
-      const int b = (byte >> bit) & 1;
-      node = node->child[b].get();
-      if (node == nullptr) {
-        return util::make_unexpected("huffman: invalid code");
-      }
-      ++depth;
-      if (b == 0) all_ones = false;
-      if (node->symbol >= 0) {
-        if (node->symbol == 256) {
-          return util::make_unexpected("huffman: EOS in stream");
-        }
-        out.push_back(static_cast<char>(node->symbol));
-        node = root;
-        depth = 0;
-        all_ones = true;
-      }
+    const DecodeTable::Entry hi = entries[state * 16 + (byte >> 4)];
+    if (hi.flags & (DecodeTable::kFail | DecodeTable::kEos)) {
+      return util::make_unexpected(hi.flags & DecodeTable::kEos
+                                       ? "huffman: EOS in stream"
+                                       : "huffman: invalid code");
     }
+    if (hi.flags & DecodeTable::kEmit) out.push_back(static_cast<char>(hi.symbol));
+    const DecodeTable::Entry lo = entries[hi.next * 16 + (byte & 0xf)];
+    if (lo.flags & (DecodeTable::kFail | DecodeTable::kEos)) {
+      return util::make_unexpected(lo.flags & DecodeTable::kEos
+                                       ? "huffman: EOS in stream"
+                                       : "huffman: invalid code");
+    }
+    if (lo.flags & DecodeTable::kEmit) out.push_back(static_cast<char>(lo.symbol));
+    state = lo.next;
   }
-  // Remaining partial code must be a prefix of EOS (all ones), < 8 bits
-  // (RFC 7541 §5.2: padding strictly longer than 7 bits is an error).
-  if (node != root && (!all_ones || depth >= 8)) {
+  if (!table.accept[state]) {
     return util::make_unexpected("huffman: invalid padding");
   }
   return out;

@@ -70,6 +70,11 @@ std::map<std::string, std::size_t> OriginMap::coalescing_groups(
   return out;
 }
 
+const Certificate* OriginMap::certificate_of(const IpAddress& ip) const {
+  const auto it = servers_.find(ip);
+  return it == servers_.end() ? nullptr : &it->second;
+}
+
 std::vector<IpAddress> OriginMap::all_ips() const {
   std::vector<IpAddress> out;
   out.reserve(servers_.size());

@@ -59,6 +59,12 @@ class OriginMap {
   std::vector<std::string> hosts_on_ip(const IpAddress& ip) const;
   std::size_t server_count() const { return servers_.size(); }
 
+  /// The server certificate for `ip`, or null if unknown. Exposes the SAN
+  /// set so the run-memoization cache can hash coalescing/push authority
+  /// into its key (certificates can be overridden per IP, so they are not
+  /// derivable from the host→IP map alone).
+  const Certificate* certificate_of(const IpAddress& ip) const;
+
  private:
   std::map<std::string, IpAddress> host_to_ip_;
   std::map<IpAddress, Certificate> servers_;

@@ -24,84 +24,111 @@ constexpr std::uint32_t rotr(std::uint32_t x, int n) {
 
 }  // namespace
 
-std::array<std::uint8_t, 32> sha256(std::string_view data) {
-  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+Sha256::Sha256() noexcept
+    : h_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+         0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
-  // Padded message: data + 0x80 + zeros + 64-bit big-endian bit length.
-  const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
-  std::size_t padded_len = data.size() + 1;
-  while (padded_len % 64 != 56) ++padded_len;
-  padded_len += 8;
-
-  std::uint8_t block[64];
-  for (std::size_t offset = 0; offset < padded_len; offset += 64) {
-    // Materialize this 64-byte block.
-    for (std::size_t i = 0; i < 64; ++i) {
-      const std::size_t pos = offset + i;
-      if (pos < data.size()) {
-        block[i] = static_cast<std::uint8_t>(data[pos]);
-      } else if (pos == data.size()) {
-        block[i] = 0x80;
-      } else if (pos >= padded_len - 8) {
-        const int shift = static_cast<int>((padded_len - 1 - pos) * 8);
-        block[i] = static_cast<std::uint8_t>(bit_len >> shift);
-      } else {
-        block[i] = 0;
-      }
-    }
-
-    std::uint32_t w[64];
-    for (int t = 0; t < 16; ++t) {
-      w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
-             (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
-             (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
-             static_cast<std::uint32_t>(block[t * 4 + 3]);
-    }
-    for (int t = 16; t < 64; ++t) {
-      const std::uint32_t s0 =
-          rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
-      const std::uint32_t s1 =
-          rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
-      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
-    }
-
-    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
-    std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
-    for (int t = 0; t < 64; ++t) {
-      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-      const std::uint32_t ch = (e & f) ^ (~e & g);
-      const std::uint32_t temp1 = hh + s1 + ch + kK[t] + w[t];
-      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-      const std::uint32_t temp2 = s0 + maj;
-      hh = g;
-      g = f;
-      f = e;
-      e = d + temp1;
-      d = c;
-      c = b;
-      b = a;
-      a = temp1 + temp2;
-    }
-    h[0] += a;
-    h[1] += b;
-    h[2] += c;
-    h[3] += d;
-    h[4] += e;
-    h[5] += f;
-    h[6] += g;
-    h[7] += hh;
+void Sha256::compress(const std::uint8_t block[64]) noexcept {
+  std::uint32_t w[64];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
   }
+  for (int t = 16; t < 64; ++t) {
+    const std::uint32_t s0 =
+        rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint32_t e = h_[4], f = h_[5], g = h_[6], hh = h_[7];
+  for (int t = 0; t < 64; ++t) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = hh + s1 + ch + kK[t] + w[t];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    hh = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += hh;
+}
+
+void Sha256::update(const void* data, std::size_t len) noexcept {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  if (block_len_ > 0) {
+    const std::size_t take = std::min(len, sizeof(block_) - block_len_);
+    std::memcpy(block_ + block_len_, bytes, take);
+    block_len_ += take;
+    bytes += take;
+    len -= take;
+    if (block_len_ == sizeof(block_)) {
+      compress(block_);
+      block_len_ = 0;
+    }
+  }
+  while (len >= sizeof(block_)) {
+    compress(bytes);
+    bytes += sizeof(block_);
+    len -= sizeof(block_);
+  }
+  if (len > 0) {
+    std::memcpy(block_, bytes, len);
+    block_len_ = len;
+  }
+}
+
+std::array<std::uint8_t, 32> Sha256::finish() noexcept {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t one = 0x80;
+  update(&one, 1);
+  const std::uint8_t zero = 0;
+  while (block_len_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> ((7 - i) * 8));
+  }
+  // Bypass the length accounting: padding bytes do not count.
+  std::memcpy(block_ + block_len_, len_be, 8);
+  compress(block_);
 
   std::array<std::uint8_t, 32> out;
   for (int i = 0; i < 8; ++i) {
-    out[i * 4] = static_cast<std::uint8_t>(h[i] >> 24);
-    out[i * 4 + 1] = static_cast<std::uint8_t>(h[i] >> 16);
-    out[i * 4 + 2] = static_cast<std::uint8_t>(h[i] >> 8);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(h[i]);
+    out[static_cast<std::size_t>(i) * 4] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(i) * 4 + 1] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(i) * 4 + 2] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(i) * 4 + 3] =
+        static_cast<std::uint8_t>(h_[i]);
   }
   return out;
+}
+
+std::array<std::uint8_t, 32> sha256(std::string_view data) {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.finish();
 }
 
 std::uint64_t sha256_prefix64(std::string_view data) {

@@ -1,6 +1,8 @@
 // SHA-256 (FIPS 180-4). Needed by the cache-digest extension: the
 // draft-ietf-httpbis-cache-digest encoding hashes cached URLs with SHA-256
-// before Golomb-coding them.
+// before Golomb-coding them. The streaming class feeds the run-memoization
+// key derivation (util/hash.h), which hashes whole record stores without
+// materializing a contiguous buffer.
 #pragma once
 
 #include <array>
@@ -8,6 +10,30 @@
 #include <string_view>
 
 namespace h2push::util {
+
+/// Incremental SHA-256: update() in any chunking, then finish() exactly
+/// once. The digest is identical to the one-shot sha256() over the
+/// concatenated input.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(const void* data, std::size_t len) noexcept;
+  void update(std::string_view data) noexcept {
+    update(data.data(), data.size());
+  }
+
+  /// Finalize and return the digest. The object must not be reused after.
+  std::array<std::uint8_t, 32> finish() noexcept;
+
+ private:
+  void compress(const std::uint8_t block[64]) noexcept;
+
+  std::uint32_t h_[8];
+  std::uint8_t block_[64];
+  std::size_t block_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
 
 std::array<std::uint8_t, 32> sha256(std::string_view data);
 

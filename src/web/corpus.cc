@@ -285,12 +285,21 @@ PagePlan generate_page(const PopulationProfile& profile,
 
 std::vector<Site> generate_population(const PopulationProfile& profile,
                                       int count, std::uint64_t seed) {
-  std::vector<Site> out;
-  out.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
+  return generate_population(
+      profile, count, seed,
+      [](std::size_t n, const std::function<void(std::size_t)>& body) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+      });
+}
+
+std::vector<Site> generate_population(const PopulationProfile& profile,
+                                      int count, std::uint64_t seed,
+                                      const ForEach& for_each) {
+  std::vector<Site> out(static_cast<std::size_t>(count));
+  for_each(static_cast<std::size_t>(count), [&](std::size_t i) {
     const std::string name = profile.label + "-" + std::to_string(i);
-    out.push_back(build_site(generate_page(profile, name, seed)));
-  }
+    out[i] = build_site(generate_page(profile, name, seed));
+  });
   return out;
 }
 

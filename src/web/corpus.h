@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,12 @@
 #include "web/site.h"
 
 namespace h2push::web {
+
+/// Index fan-out hook: must invoke body(0..count-1) exactly once each, in
+/// any order and from any thread. core::ParallelRunner::for_each satisfies
+/// this; the indirection keeps web/ free of a dependency on core/.
+using ForEach = std::function<void(
+    std::size_t count, const std::function<void(std::size_t)>& body)>;
 
 struct PopulationProfile {
   std::string label;
@@ -71,5 +78,12 @@ PagePlan generate_page(const PopulationProfile& profile,
 /// Generate and build `count` sites named "<label>-<k>".
 std::vector<Site> generate_population(const PopulationProfile& profile,
                                       int count, std::uint64_t seed);
+
+/// Parallel variant: each site is deterministic in (profile, name, seed)
+/// alone, so fanning the builds across `for_each` yields the identical
+/// population for any thread count.
+std::vector<Site> generate_population(const PopulationProfile& profile,
+                                      int count, std::uint64_t seed,
+                                      const ForEach& for_each);
 
 }  // namespace h2push::web

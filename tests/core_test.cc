@@ -303,5 +303,28 @@ TEST(Adoption, PushRequiresH2) {
   for (const auto& s : samples) EXPECT_LE(s.push_sites, s.h2_sites);
 }
 
+TEST(Adoption, RangePartitionSumsToFullScan) {
+  // Draws are counter-based per site, so any chunking of the population
+  // (bench_fig1_adoption fans chunks across threads) adds up exactly.
+  adoption::AdoptionModelConfig cfg;
+  cfg.population = 50000;
+  const auto full = adoption::simulate_adoption(cfg);
+  std::vector<adoption::MonthlySample> merged(full.size());
+  const std::size_t edges[] = {0, 1, 4096, 17000, 50000};
+  for (std::size_t c = 0; c + 1 < std::size(edges); ++c) {
+    const auto part =
+        adoption::simulate_adoption_range(cfg, edges[c], edges[c + 1]);
+    for (std::size_t m = 0; m < part.size(); ++m) {
+      merged[m].month = part[m].month;
+      merged[m].h2_sites += part[m].h2_sites;
+      merged[m].push_sites += part[m].push_sites;
+    }
+  }
+  for (std::size_t m = 0; m < full.size(); ++m) {
+    EXPECT_EQ(full[m].h2_sites, merged[m].h2_sites);
+    EXPECT_EQ(full[m].push_sites, merged[m].push_sites);
+  }
+}
+
 }  // namespace
 }  // namespace h2push::core
