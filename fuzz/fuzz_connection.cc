@@ -1,0 +1,30 @@
+// libFuzzer entrypoint: client byte stream → server h2::Connection via the
+// adversarial peer harness (fuzz/harness.h).
+//
+// The RFC 7540 contract under arbitrary input: no crash, no hang, output
+// always parseable, internal invariants (windows, stream states, scheduler)
+// intact. The harness's own chunking/response randomness is derived from
+// the input bytes so every trajectory is reproducible from the corpus file
+// alone. Corpus: tests/corpus/connection (*.bin files).
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/harness.h"
+#include "fuzz/random.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace h2push;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < size && i < 64; ++i) {
+    seed = seed * 1099511628211ULL + data[i];
+  }
+  fuzz::Random r(seed);
+  const auto result = fuzz::run_server_harness(
+      r, std::vector<std::uint8_t>(data, data + size));
+  if (result.hang) __builtin_trap();
+  if (result.invariant_violation.has_value()) __builtin_trap();
+  if (result.output_parse_error.has_value()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// libFuzzer entrypoint: raw bytes → h2::FrameParser.
+//
+// Any input must terminate with frames or a clean typed error; round-trip
+// every successfully parsed frame as a bonus oracle. Build with
+// -DH2PUSH_FUZZ=ON (Clang only); corpus lives in tests/corpus/frame.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "fuzz/oracles.h"
+#include "h2/frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace h2push;
+  h2::FrameParser parser;
+  auto frames = parser.feed(std::span<const std::uint8_t>(data, size));
+  if (!frames) return 0;
+  for (const auto& frame : *frames) {
+    // Anything the parser accepts must survive serialize→parse→serialize
+    // byte-identically.
+    if (auto divergence = fuzz::frame_round_trip(frame)) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

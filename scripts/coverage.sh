@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Line-coverage report for the test suite (gcov; no gcovr dependency).
+#
+#   scripts/coverage.sh              # build + run tests + per-directory report
+#   scripts/coverage.sh -R 'Fuzz'    # extra args forwarded to ctest
+#
+# Uses a dedicated build-cov/ tree configured with H2PUSH_COVERAGE=ON
+# (--coverage -O0). Aggregates gcov's JSON intermediate format into
+# per-directory and per-file line coverage over src/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "=== configure + build (build-cov/) ==="
+cmake -B build-cov -S . -DH2PUSH_COVERAGE=ON >/dev/null
+cmake --build build-cov -j "$jobs"
+
+echo "=== run tests ==="
+# Stale counters from previous runs would skew the report.
+find build-cov -name '*.gcda' -delete
+ctest --test-dir build-cov -j "$jobs" --output-on-failure "$@"
+
+echo "=== gcov report (src/ only) ==="
+python3 - <<'EOF'
+import collections, glob, gzip, json, os, subprocess, sys
+
+root = os.getcwd()
+gcda = sorted(glob.glob('build-cov/**/*.gcda', recursive=True))
+if not gcda:
+    sys.exit('no .gcda files found — did the tests run?')
+
+# line number -> hit?  keyed by source path relative to the repo root.
+lines = collections.defaultdict(dict)
+for chunk_start in range(0, len(gcda), 64):
+    chunk = gcda[chunk_start:chunk_start + 64]
+    out = subprocess.run(
+        ['gcov', '--json-format', '--stdout'] + chunk,
+        cwd=root, capture_output=True, check=True).stdout
+    for doc in out.splitlines():
+        if not doc.strip():
+            continue
+        data = json.loads(doc)
+        for f in data.get('files', []):
+            path = os.path.relpath(os.path.join(root, f['file']), root)
+            if not path.startswith('src/'):
+                continue
+            for line in f['lines']:
+                no, hit = line['line_number'], line['count'] > 0
+                lines[path][no] = lines[path].get(no, False) or hit
+
+per_dir = collections.defaultdict(lambda: [0, 0])
+print(f'{"file":58s} {"lines":>7s} {"cov":>7s}')
+for path in sorted(lines):
+    total = len(lines[path])
+    hit = sum(lines[path].values())
+    d = os.path.dirname(path)
+    per_dir[d][0] += hit
+    per_dir[d][1] += total
+    print(f'{path:58s} {total:7d} {100.0 * hit / total:6.1f}%')
+
+print()
+print(f'{"directory":58s} {"lines":>7s} {"cov":>7s}')
+grand_hit = grand_total = 0
+for d in sorted(per_dir):
+    hit, total = per_dir[d]
+    grand_hit += hit
+    grand_total += total
+    print(f'{d:58s} {total:7d} {100.0 * hit / total:6.1f}%')
+print(f'{"TOTAL":58s} {grand_total:7d} {100.0 * grand_hit / grand_total:6.1f}%')
+EOF

@@ -1,0 +1,62 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/sha256.h"
+
+namespace h2push::fuzz {
+
+namespace fs = std::filesystem;
+
+std::vector<std::pair<std::string, std::vector<std::uint8_t>>> load_corpus_dir(
+    const std::string& dir) {
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    out.emplace_back(entry.path().filename().string(), std::move(bytes));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::uint64_t> load_seed_file(const std::string& path) {
+  std::vector<std::uint64_t> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    out.push_back(std::stoull(line.substr(start)));
+  }
+  return out;
+}
+
+std::string write_corpus_file(const std::string& dir,
+                              const std::vector<std::uint8_t>& bytes) {
+  util::Sha256 hasher;
+  hasher.update(bytes.data(), bytes.size());
+  const auto digest = hasher.finish();
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string name;
+  for (std::size_t i = 0; i < 8; ++i) {
+    name += kDigits[digest[i] >> 4];
+    name += kDigits[digest[i] & 0xf];
+  }
+  name += ".bin";
+  fs::create_directories(dir);
+  const auto path = (fs::path(dir) / name).string();
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  outf.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+}  // namespace h2push::fuzz

@@ -1,0 +1,32 @@
+// Corpus IO: committed regression seeds under tests/corpus/.
+//
+// Two seed kinds live there (see tests/corpus/README.md):
+//   * binary reproducers (raw bytes fed straight to the target), named by
+//     content hash so re-adding the same reproducer is idempotent;
+//   * seed lists (`seeds.txt`): one decimal uint64 PRNG seed per line,
+//     `#` comments allowed — each seed replays a full generator/harness
+//     trajectory that once found a bug.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace h2push::fuzz {
+
+/// All regular files in `dir` (non-recursive, sorted by filename) as
+/// (filename, contents). Missing directory → empty list.
+std::vector<std::pair<std::string, std::vector<std::uint8_t>>> load_corpus_dir(
+    const std::string& dir);
+
+/// Parse a seeds.txt: one decimal uint64 per line; blank lines and lines
+/// starting with '#' are skipped. Missing file → empty list.
+std::vector<std::uint64_t> load_seed_file(const std::string& path);
+
+/// Write `bytes` into `dir` under a content-hash name ("<hex16>.bin");
+/// creates `dir` if needed. Returns the full path.
+std::string write_corpus_file(const std::string& dir,
+                              const std::vector<std::uint8_t>& bytes);
+
+}  // namespace h2push::fuzz

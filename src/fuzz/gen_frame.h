@@ -1,0 +1,64 @@
+// Structure-aware H2 frame-stream generation (RFC 7540).
+//
+// Two layers of realism:
+//   * random_client_traffic() — a valid-by-construction client session
+//     (preface, SETTINGS, HPACK-encoded requests, PRIORITY/WINDOW_UPDATE/
+//     PING noise, padding, CONTINUATION splits). A conforming server must
+//     accept all of it.
+//   * random_frame_soup() — syntactically well-formed frame headers with
+//     adversarial payloads and stream ids. A conforming server must survive
+//     and answer with the right GOAWAY/RST_STREAM codes.
+// Per-frame byte offsets are recorded so mutators can corrupt individual
+// fields instead of blind byte positions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/random.h"
+#include "h2/frame.h"
+#include "h2/hpack.h"
+
+namespace h2push::fuzz {
+
+struct GeneratedTraffic {
+  std::vector<std::uint8_t> bytes;
+  /// Start offset of every frame header in `bytes` (after any preface).
+  std::vector<std::size_t> frame_offsets;
+  /// Stream ids of the requests opened (odd, increasing).
+  std::vector<std::uint32_t> request_streams;
+};
+
+struct TrafficOptions {
+  bool include_preface = true;
+  /// Requests to open, chosen in [1, max_requests].
+  std::size_t max_requests = 6;
+  /// Probability a generated frame is interleaved protocol noise
+  /// (PRIORITY / PING / WINDOW_UPDATE / extension frames).
+  double noise = 0.4;
+};
+
+/// A valid client session a conforming server must accept end to end.
+GeneratedTraffic random_client_traffic(Random& r, const TrafficOptions& opts);
+
+/// One random well-formed typed frame, for serialize→parse→serialize
+/// round-trip oracles. Covers all ten RFC 7540 types plus extension
+/// frames; header blocks are raw bytes (the frame layer treats them as
+/// opaque).
+h2::Frame random_valid_frame(Random& r);
+
+/// One syntactically valid frame of a random type (server-bound). Fields
+/// may be semantically hostile (huge increments, zero stream ids, bogus
+/// flags) but the 9-byte header is always self-consistent.
+std::vector<std::uint8_t> random_frame_soup_frame(Random& r);
+
+/// Preface + SETTINGS + a run of soup frames.
+GeneratedTraffic random_frame_soup(Random& r, std::size_t max_frames = 24);
+
+/// Serialize a raw 9-byte frame header + payload (no validation at all).
+void append_raw_frame(std::vector<std::uint8_t>& out, std::uint32_t length,
+                      std::uint8_t type, std::uint8_t flags,
+                      std::uint32_t stream_id,
+                      std::span<const std::uint8_t> payload);
+
+}  // namespace h2push::fuzz

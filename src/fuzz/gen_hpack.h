@@ -1,0 +1,38 @@
+// Structure-aware HPACK header-block generation (RFC 7541).
+//
+// Unlike HpackEncoder — whose representation policy is fixed — the generator
+// draws a random representation for every header (indexed, literal with /
+// without / never indexing, Huffman or raw strings, optional table-size
+// updates) against a shadow dynamic table, so the emitted block is
+// valid-by-construction and the expected decode result is known exactly.
+// This exercises decoder paths the production encoder never produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/random.h"
+#include "h2/hpack.h"
+#include "http/message.h"
+
+namespace h2push::fuzz {
+
+struct GeneratedBlock {
+  std::vector<std::uint8_t> bytes;
+  /// What a conforming decoder must produce for `bytes`.
+  http::HeaderBlock expected;
+};
+
+/// Generate one valid header block. `shadow` mirrors the decoder's dynamic
+/// table and is updated in place, so consecutive calls model one
+/// connection's block sequence. `settings_max` bounds any emitted dynamic
+/// table size update (the decoder's SETTINGS_HEADER_TABLE_SIZE).
+GeneratedBlock random_block(Random& r, h2::HpackDynamicTable& shadow,
+                            std::size_t settings_max = 4096);
+
+/// Generate a corrupted (usually invalid) block: either mutated bytes of a
+/// valid block or raw byte soup. Decoders must reject or accept without
+/// crashing; they must never read out of bounds.
+std::vector<std::uint8_t> random_bad_block(Random& r);
+
+}  // namespace h2push::fuzz

@@ -1,0 +1,59 @@
+// Adversarial peer harness for h2::Connection.
+//
+// Feeds an arbitrary byte stream into a server-role Connection in random
+// chunk sizes, answering every completed request with a canned response so
+// the full send path (HPACK encode, scheduler, flow control) runs too.
+// After every chunk it drains the write side, re-checks the connection's
+// accounting invariants, and enforces a produced-bytes cap as a hang
+// detector. The server's own output is re-parsed with an independent
+// FrameParser — the server must never emit invalid bytes — and the
+// GOAWAY / RST_STREAM error codes it chose are captured so conformance
+// tests can assert exact RFC 7540 §7 codes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/random.h"
+#include "h2/frame.h"
+
+namespace h2push::fuzz {
+
+struct HarnessOptions {
+  /// Max bytes the server may produce before we declare a hang (a correct
+  /// server's output is bounded by responses + control frames).
+  std::size_t produced_cap = 10u << 20;
+  /// Response body bytes per answered request.
+  std::size_t response_body = 2048;
+};
+
+struct PeerHarnessResult {
+  /// GOAWAY the server sent (kNoError if the session stayed healthy —
+  /// note a graceful GOAWAY also carries kNoError).
+  h2::ErrorCode goaway_code = h2::ErrorCode::kNoError;
+  bool sent_goaway = false;
+  /// RST_STREAM frames the server sent, in order.
+  std::vector<std::pair<std::uint32_t, h2::ErrorCode>> resets;
+  std::size_t produced_bytes = 0;
+  std::size_t requests_seen = 0;
+  /// Streams still tracked at the end (leak detector input).
+  std::size_t final_stream_count = 0;
+  /// First invariant violation, if any (must be nullopt).
+  std::optional<std::string> invariant_violation;
+  /// Server output failed to re-parse (must be nullopt).
+  std::optional<std::string> output_parse_error;
+  /// Produced-bytes cap exceeded (must be false).
+  bool hang = false;
+};
+
+/// Run `input` through a fresh server connection. All chunking decisions
+/// come from `r`, so (seed, input) fully determines the trajectory.
+PeerHarnessResult run_server_harness(Random& r,
+                                     std::span<const std::uint8_t> input,
+                                     const HarnessOptions& opts = {});
+
+}  // namespace h2push::fuzz

@@ -1,0 +1,134 @@
+#include "fuzz/mutate.h"
+
+#include <algorithm>
+
+namespace h2push::fuzz {
+
+void mutate_bytes(Random& r, std::vector<std::uint8_t>& data,
+                  std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (data.empty()) return;
+    switch (r.index(5)) {
+      case 0:  // bit flip
+        data[r.index(data.size())] ^=
+            static_cast<std::uint8_t>(1u << r.index(8));
+        break;
+      case 1:  // byte overwrite
+        data[r.index(data.size())] =
+            static_cast<std::uint8_t>(r.range(0, 255));
+        break;
+      case 2:  // truncate tail
+        data.resize(r.index(data.size() + 1));
+        break;
+      case 3: {  // duplicate a slice
+        const auto start = r.index(data.size());
+        const auto len = std::min<std::size_t>(
+            r.index(data.size() - start) + 1, 64);
+        std::vector<std::uint8_t> slice(
+            data.begin() + static_cast<std::ptrdiff_t>(start),
+            data.begin() + static_cast<std::ptrdiff_t>(start + len));
+        const auto at = r.index(data.size() + 1);
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                    slice.begin(), slice.end());
+        break;
+      }
+      default: {  // insert random bytes
+        const auto junk = r.bytes(1, 8);
+        const auto at = r.index(data.size() + 1);
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                    junk.begin(), junk.end());
+        break;
+      }
+    }
+  }
+}
+
+void mutate_frame_header(Random& r, std::vector<std::uint8_t>& data,
+                         const std::vector<std::size_t>& frame_offsets) {
+  // Keep only offsets whose full 9-byte header still exists (earlier
+  // mutations may have truncated the buffer).
+  std::vector<std::size_t> valid;
+  for (auto off : frame_offsets) {
+    if (off + 9 <= data.size()) valid.push_back(off);
+  }
+  if (valid.empty()) {
+    mutate_bytes(r, data, 1);
+    return;
+  }
+  const std::size_t off = valid[r.index(valid.size())];
+  switch (r.index(4)) {
+    case 0: {  // length field
+      const std::uint32_t old_len = (std::uint32_t{data[off]} << 16) |
+                                    (std::uint32_t{data[off + 1]} << 8) |
+                                    data[off + 2];
+      std::uint32_t new_len;
+      switch (r.index(4)) {
+        case 0: new_len = 0; break;
+        case 1: new_len = old_len + r.range(1, 16); break;
+        case 2: new_len = old_len > 0 ? old_len - 1 : 1; break;
+        default:
+          new_len = static_cast<std::uint32_t>(r.range(16385, 0xffffff));
+          break;
+      }
+      data[off] = static_cast<std::uint8_t>(new_len >> 16);
+      data[off + 1] = static_cast<std::uint8_t>(new_len >> 8);
+      data[off + 2] = static_cast<std::uint8_t>(new_len);
+      if (r.chance(0.5)) {
+        // Keep the wire in sync so later frames stay parseable: grow or
+        // shrink the payload to the declared length.
+        const std::size_t payload_at = off + 9;
+        const std::size_t have =
+            std::min<std::size_t>(data.size() - payload_at, old_len);
+        if (new_len > have) {
+          const auto pad = r.bytes(new_len - have, new_len - have);
+          data.insert(
+              data.begin() + static_cast<std::ptrdiff_t>(payload_at + have),
+              pad.begin(), pad.end());
+        } else {
+          data.erase(
+              data.begin() + static_cast<std::ptrdiff_t>(payload_at + new_len),
+              data.begin() + static_cast<std::ptrdiff_t>(payload_at + have));
+        }
+      }
+      break;
+    }
+    case 1:  // type
+      data[off + 3] = static_cast<std::uint8_t>(r.range(0, 255));
+      break;
+    case 2:  // flags
+      data[off + 4] ^= static_cast<std::uint8_t>(1u << r.index(8));
+      break;
+    default: {  // stream id
+      switch (r.index(3)) {
+        case 0:  // zero it (stream-0 violations for stream-bound frames)
+          data[off + 5] = data[off + 6] = data[off + 7] = data[off + 8] = 0;
+          break;
+        case 1:  // small id
+          data[off + 5] = data[off + 6] = data[off + 7] = 0;
+          data[off + 8] = static_cast<std::uint8_t>(r.range(0, 9));
+          break;
+        default:  // flip a bit (parity / reserved-bit churn)
+          data[off + 5 + r.index(4)] ^=
+              static_cast<std::uint8_t>(1u << r.index(8));
+          break;
+      }
+      break;
+    }
+  }
+}
+
+std::vector<std::uint8_t> mutate_traffic(Random& r,
+                                         const GeneratedTraffic& traffic) {
+  auto data = traffic.bytes;
+  const std::size_t n = 1 + r.small_count(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.chance(0.6)) {
+      mutate_frame_header(r, data, traffic.frame_offsets);
+    } else {
+      mutate_bytes(r, data, 1);
+    }
+  }
+  return data;
+}
+
+}  // namespace h2push::fuzz

@@ -1,0 +1,34 @@
+// Byte- and field-level mutation of generated frame streams.
+//
+// Generic mutations (flip/overwrite/truncate/duplicate/insert) plus
+// structure-aware ones that use the generator's recorded frame offsets to
+// corrupt specific frame-header fields (length, type, flags, stream id) —
+// the corruptions most likely to probe parser edge cases without reducing
+// the whole tail of the stream to noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/gen_frame.h"
+#include "fuzz/random.h"
+
+namespace h2push::fuzz {
+
+/// Apply `count` generic byte mutations in place.
+void mutate_bytes(Random& r, std::vector<std::uint8_t>& data,
+                  std::size_t count);
+
+/// Corrupt one frame-header field of a randomly chosen frame. Offsets must
+/// come from the generator (positions of 9-byte frame headers in `data`).
+/// Length corruption keeps the wire in sync (bytes are added/removed to
+/// match) with probability 1/2, and desyncs it otherwise.
+void mutate_frame_header(Random& r, std::vector<std::uint8_t>& data,
+                         const std::vector<std::size_t>& frame_offsets);
+
+/// Full adversarial pipeline: start from valid traffic, apply 1..4
+/// structure-aware and/or generic mutations.
+std::vector<std::uint8_t> mutate_traffic(Random& r,
+                                         const GeneratedTraffic& traffic);
+
+}  // namespace h2push::fuzz

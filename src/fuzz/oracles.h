@@ -1,0 +1,34 @@
+// Differential / round-trip oracles.
+//
+// Each oracle returns nullopt on success or a description of the first
+// divergence — callers turn that into a test failure carrying the seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "h2/frame.h"
+#include "h2/hpack.h"
+#include "http/message.h"
+
+namespace h2push::fuzz {
+
+/// serialize(frame) → parse → serialize must be byte-identical, and the
+/// parsed frame must compare equal to the original.
+std::optional<std::string> frame_round_trip(const h2::Frame& frame);
+
+/// encoder.encode(block) → decoder.decode must reproduce `block` exactly
+/// and leave both dynamic tables in equivalent states.
+std::optional<std::string> hpack_round_trip(h2::HpackEncoder& encoder,
+                                            h2::HpackDecoder& decoder,
+                                            const http::HeaderBlock& block,
+                                            bool use_huffman);
+
+/// Structural equality of two dynamic tables (size, max size, entries).
+std::optional<std::string> tables_equal(const h2::HpackDynamicTable& a,
+                                        const h2::HpackDynamicTable& b);
+
+}  // namespace h2push::fuzz

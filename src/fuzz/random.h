@@ -1,0 +1,78 @@
+// Deterministic randomness for the fuzzing subsystem.
+//
+// Every fuzz iteration derives all of its randomness from one uint64 seed
+// through fuzz::Random, a thin veneer over util::Rng (xoshiro256**). The
+// contract that makes failures reproducible from a single number:
+//
+//   * a generator/mutator takes `Random&` and never reads any other
+//     entropy source (no time, no addresses, no global state);
+//   * independent concerns fork() labelled substreams, so adding draws to
+//     one concern does not shift the values another concern sees.
+//
+// See DESIGN.md §5e for the seed-reproducibility contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace h2push::fuzz {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) : rng_(seed) {}
+  explicit Random(util::Rng rng) : rng_(rng) {}
+
+  /// Independent substream for a named concern.
+  Random fork(std::string_view label) { return Random(rng_.fork(label)); }
+
+  std::uint64_t next() { return rng_.next_u64(); }
+
+  /// Uniform in [lo, hi] inclusive. lo must be <= hi (both < 2^63).
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return static_cast<std::uint64_t>(
+        rng_.uniform_int(static_cast<std::int64_t>(lo),
+                         static_cast<std::int64_t>(hi)));
+  }
+
+  /// Uniform index into a container of `size` elements (size > 0).
+  std::size_t index(std::size_t size) { return rng_.index(size); }
+
+  bool chance(double p) { return rng_.bernoulli(p); }
+
+  /// Geometric-ish small count: 0 with prob ~1/2, heavier tail up to cap.
+  std::size_t small_count(std::size_t cap) {
+    std::size_t n = 0;
+    while (n < cap && chance(0.5)) ++n;
+    return n;
+  }
+
+  /// Random byte string, length in [min_len, max_len].
+  std::vector<std::uint8_t> bytes(std::size_t min_len, std::size_t max_len) {
+    const auto n = static_cast<std::size_t>(range(min_len, max_len));
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(range(0, 255));
+    return out;
+  }
+
+  /// Random printable ASCII token (headers-safe charset).
+  std::string token(std::size_t min_len, std::size_t max_len) {
+    static constexpr std::string_view kChars =
+        "abcdefghijklmnopqrstuvwxyz0123456789-_.";
+    const auto n = static_cast<std::size_t>(range(min_len, max_len));
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out += kChars[index(kChars.size())];
+    return out;
+  }
+
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace h2push::fuzz

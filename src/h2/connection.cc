@@ -142,11 +142,12 @@ void Connection::signal_write() {
   if (callbacks_.on_write_ready) callbacks_.on_write_ready();
 }
 
-void Connection::connection_error(const std::string& message) {
+void Connection::connection_error(ErrorCode code, const std::string& message) {
   if (errored_) return;
   errored_ = true;
   last_error_ = message;
-  queue_control(Frame{GoawayFrame{0, ErrorCode::kProtocolError, message}});
+  last_error_code_ = code;
+  queue_control(Frame{GoawayFrame{max_peer_stream_, code, message}});
   if (callbacks_.on_connection_error) callbacks_.on_connection_error(message);
   signal_write();
 }
@@ -286,7 +287,12 @@ std::vector<std::uint8_t> Connection::produce(std::size_t max_bytes) {
     n = std::min<std::size_t>(n, static_cast<std::size_t>(s.send_window));
     n = std::min<std::size_t>(n, static_cast<std::size_t>(send_window_));
     n = std::min<std::size_t>(n, scheduler_->max_bytes_for(id));
+    // data_ready() guarantees n > 0 for every setting this connection can
+    // reach, but an unvalidated limit reaching 0 here would emit empty
+    // DATA frames forever (the NDEBUG builds used to rely on a compiled-out
+    // assert). Stall instead of spinning.
     assert(n > 0);
+    if (n == 0) break;
     const bool end_stream = (n == remaining);
     const auto* base =
         reinterpret_cast<const std::uint8_t*>(s.body->data()) + s.body_offset;
@@ -343,7 +349,7 @@ void Connection::receive(std::span<const std::uint8_t> bytes) {
     const auto expected = client_preface();
     if (!std::equal(expected.begin(), expected.end(), preface_buf_.begin())) {
       preface_buf_.clear();
-      connection_error("bad client preface");
+      connection_error(ErrorCode::kProtocolError, "bad client preface");
       return;
     }
     preface_pending_ = false;
@@ -355,7 +361,7 @@ void Connection::receive(std::span<const std::uint8_t> bytes) {
   }
   auto frames = parser_.feed(bytes);
   if (!frames) {
-    connection_error(frames.error());
+    connection_error(frames.error().code, frames.error().message);
     return;
   }
   for (auto& frame : *frames) {
@@ -371,9 +377,20 @@ void Connection::apply_remote_settings(const SettingsFrame& frame) {
         encoder_.set_table_size(value);
         break;
       case SettingsId::kEnablePush:
+        if (value > 1) {
+          connection_error(ErrorCode::kProtocolError,
+                           "SETTINGS_ENABLE_PUSH not 0/1");
+          return;
+        }
         peer_enable_push_ = value != 0;
         break;
       case SettingsId::kInitialWindowSize: {
+        if (value > kMaxWindow) {
+          // §6.5.2: values above 2^31-1 are a FLOW_CONTROL_ERROR.
+          connection_error(ErrorCode::kFlowControlError,
+                           "SETTINGS_INITIAL_WINDOW_SIZE above 2^31-1");
+          return;
+        }
         // Adjust all open streams by the delta (RFC 7540 §6.9.2).
         const std::int64_t delta =
             static_cast<std::int64_t>(value) -
@@ -383,6 +400,14 @@ void Connection::apply_remote_settings(const SettingsFrame& frame) {
         break;
       }
       case SettingsId::kMaxFrameSize:
+        if (value < kDefaultMaxFrameSize || value > 0xffffff) {
+          // §6.5.2: outside [2^14, 2^24-1] is a PROTOCOL_ERROR. Applying a
+          // zero frame size used to drive produce() into an endless stream
+          // of empty DATA frames (fuzz seed settings-max-frame-size-zero).
+          connection_error(ErrorCode::kProtocolError,
+                           "SETTINGS_MAX_FRAME_SIZE out of range");
+          return;
+        }
         peer_max_frame_size_ = value;
         break;
       case SettingsId::kMaxConcurrentStreams:
@@ -409,14 +434,43 @@ void Connection::handle_frame(Frame frame) {
         if constexpr (std::is_same_v<T, SettingsFrame>) {
           if (!f.ack) apply_remote_settings(f);
         } else if constexpr (std::is_same_v<T, HeadersFrame>) {
+          // Decode before any stream-level checks: the dynamic table must
+          // stay synchronized even for blocks on doomed streams (§4.3).
           auto block = decoder_.decode(f.header_block);
           if (!block) {
-            connection_error("hpack: " + block.error());
+            connection_error(ErrorCode::kCompressionError,
+                             "hpack: " + block.error());
             return;
+          }
+          if (streams_.find(f.stream_id) == streams_.end()) {
+            if (config_.role == Role::kClient) {
+              // Every legitimate response stream exists at the client (we
+              // opened it or the peer promised it).
+              connection_error(ErrorCode::kProtocolError,
+                               "HEADERS on idle stream");
+              return;
+            }
+            if (f.stream_id % 2 == 0) {
+              connection_error(ErrorCode::kProtocolError,
+                               "client opened even stream");
+              return;
+            }
+            if (f.stream_id <= max_peer_stream_) {
+              connection_error(ErrorCode::kProtocolError,
+                               "stream id not monotonically increasing");
+              return;
+            }
+            max_peer_stream_ = f.stream_id;
           }
           Stream& s = ensure_stream(f.stream_id);
           if (s.state == StreamState::kClosed) {
             return;  // late HEADERS after RST: drop, keep HPACK state
+          }
+          if (s.remote_done) {
+            // §5.1 half-closed (remote): further HEADERS are a stream
+            // error of type STREAM_CLOSED.
+            submit_rst(f.stream_id, ErrorCode::kStreamClosed);
+            return;
           }
           if (s.state == StreamState::kIdle) s.state = StreamState::kOpen;
           if (s.state == StreamState::kReservedRemote) {
@@ -439,15 +493,38 @@ void Connection::handle_frame(Frame frame) {
           }
           maybe_close(f.stream_id);
         } else if constexpr (std::is_same_v<T, DataFrame>) {
-          Stream& s = ensure_stream(f.stream_id);
+          auto sit = streams_.find(f.stream_id);
+          if (sit == streams_.end()) {
+            connection_error(ErrorCode::kProtocolError,
+                             "DATA on idle stream");
+            return;
+          }
+          Stream& s = sit->second;
           // RFC 7540 §6.9: the whole frame payload, including padding,
-          // counts against flow control.
+          // counts against flow control — even for streams we have
+          // already reset or half-closed.
           const auto n =
               static_cast<std::int64_t>(f.data.size() + f.padding_bytes);
-          s.recv_window -= n;
           recv_window_ -= n;
-          if (s.recv_window < 0 || recv_window_ < 0) {
-            connection_error("flow control violated by peer");
+          if (recv_window_ < 0) {
+            connection_error(ErrorCode::kFlowControlError,
+                             "connection flow control violated by peer");
+            return;
+          }
+          if (s.state == StreamState::kClosed) {
+            // Post-RST straggler: connection-level accounting only (§5.1).
+            recv_unacked_ += static_cast<std::uint64_t>(n);
+            return;
+          }
+          if (s.remote_done) {
+            // §5.1 half-closed (remote): DATA is a STREAM_CLOSED error.
+            submit_rst(f.stream_id, ErrorCode::kStreamClosed);
+            return;
+          }
+          s.recv_window -= n;
+          if (s.recv_window < 0) {
+            connection_error(ErrorCode::kFlowControlError,
+                             "stream flow control violated by peer");
             return;
           }
           // Application consumes immediately; replenish at half-window.
@@ -483,18 +560,34 @@ void Connection::handle_frame(Frame frame) {
           signal_write();
         } else if constexpr (std::is_same_v<T, PushPromiseFrame>) {
           if (config_.role != Role::kClient) {
-            connection_error("PUSH_PROMISE from client");
+            connection_error(ErrorCode::kProtocolError,
+                             "PUSH_PROMISE from client");
             return;
           }
           if (!config_.enable_push) {
-            connection_error("push disabled but PUSH_PROMISE received");
+            connection_error(ErrorCode::kProtocolError,
+                             "push disabled but PUSH_PROMISE received");
             return;
           }
           auto block = decoder_.decode(f.header_block);
           if (!block) {
-            connection_error("hpack: " + block.error());
+            connection_error(ErrorCode::kCompressionError,
+                             "hpack: " + block.error());
             return;
           }
+          auto parent = streams_.find(f.stream_id);
+          if (parent == streams_.end()) {
+            connection_error(ErrorCode::kProtocolError,
+                             "PUSH_PROMISE on idle stream");
+            return;
+          }
+          if (f.promised_id == 0 || f.promised_id % 2 != 0 ||
+              f.promised_id <= max_peer_stream_) {
+            connection_error(ErrorCode::kProtocolError,
+                             "promised stream id invalid");
+            return;
+          }
+          max_peer_stream_ = f.promised_id;
           Stream& s = ensure_stream(f.promised_id);
           s.state = StreamState::kReservedRemote;
           s.local_done = true;  // we never send on a pushed stream
@@ -503,8 +596,20 @@ void Connection::handle_frame(Frame frame) {
                                        std::move(*block));
           }
         } else if constexpr (std::is_same_v<T, PriorityFrame>) {
+          if (f.priority.depends_on == f.stream_id) {
+            // §5.3.1: a stream cannot depend on itself — stream error.
+            if (streams_.find(f.stream_id) != streams_.end()) {
+              submit_rst(f.stream_id, ErrorCode::kProtocolError);
+            }
+            return;
+          }
           scheduler_->on_reprioritized(f.stream_id, f.priority);
         } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
+          if (streams_.find(f.stream_id) == streams_.end()) {
+            connection_error(ErrorCode::kProtocolError,
+                             "RST_STREAM on idle stream");
+            return;
+          }
           Stream& s = ensure_stream(f.stream_id);
           s.state = StreamState::kClosed;
           s.body_pending = false;
@@ -513,22 +618,28 @@ void Connection::handle_frame(Frame frame) {
           if (callbacks_.on_rst) callbacks_.on_rst(f.stream_id, f.error);
         } else if constexpr (std::is_same_v<T, WindowUpdateFrame>) {
           if (f.stream_id == 0) {
-            send_window_ += f.increment;
-            if (send_window_ > kMaxWindow) {
-              connection_error("connection window overflow");
+            if (send_window_ + f.increment > kMaxWindow) {
+              connection_error(ErrorCode::kFlowControlError,
+                               "connection window overflow");
               return;
             }
+            send_window_ += f.increment;
             if (trace_) {
               trace_->counter(trace_track_, "h2", "conn_send_window",
                               static_cast<double>(send_window_));
             }
           } else {
-            Stream& s = ensure_stream(f.stream_id);
-            s.send_window += f.increment;
-            if (s.send_window > kMaxWindow) {
+            auto sit = streams_.find(f.stream_id);
+            if (sit == streams_.end()) {
+              connection_error(ErrorCode::kProtocolError,
+                               "WINDOW_UPDATE on idle stream");
+              return;
+            }
+            if (sit->second.send_window + f.increment > kMaxWindow) {
               submit_rst(f.stream_id, ErrorCode::kFlowControlError);
               return;
             }
+            sit->second.send_window += f.increment;
           }
           signal_write();
         } else if constexpr (std::is_same_v<T, PingFrame>) {
@@ -542,9 +653,30 @@ void Connection::handle_frame(Frame frame) {
           // Remembered for diagnostics; page loads do not reuse dying
           // connections in our experiments.
           last_error_ = "GOAWAY: " + f.debug_data;
+          last_error_code_ = f.error;
         }
       },
       frame);
+}
+
+std::optional<std::string> Connection::check_invariants() const {
+  if (recv_window_ < 0) return "connection recv window negative";
+  if (send_window_ > kMaxWindow) return "connection send window above 2^31-1";
+  for (const auto& [id, s] : streams_) {
+    const std::string tag = " (stream " + std::to_string(id) + ")";
+    if (s.recv_window < 0) return "stream recv window negative" + tag;
+    if (s.send_window > kMaxWindow) {
+      return "stream send window above 2^31-1" + tag;
+    }
+    if (s.body && s.body_offset > s.body->size()) {
+      return "body cursor past end of body" + tag;
+    }
+    if (s.body_pending && !s.body) return "pending body missing" + tag;
+    if (s.state == StreamState::kClosed && s.body_pending) {
+      return "closed stream still scheduled for DATA" + tag;
+    }
+  }
+  return std::nullopt;
 }
 
 StreamState Connection::stream_state(std::uint32_t stream) const {

@@ -143,6 +143,16 @@ class Connection {
   std::int64_t stream_send_window(std::uint32_t stream) const;
   bool stream_send_finished(std::uint32_t stream) const;
   const std::string& last_error() const noexcept { return last_error_; }
+  /// Error code of the GOAWAY we sent (kNoError while healthy).
+  ErrorCode last_error_code() const noexcept { return last_error_code_; }
+  std::size_t stream_count() const noexcept { return streams_.size(); }
+
+  /// Self-check of the connection's accounting invariants (receive windows
+  /// never negative, send windows within RFC bounds, body cursors inside
+  /// their bodies, closed streams hold no send state). Returns a
+  /// description of the first violation, or nullopt when consistent. Used
+  /// by the fuzzing harness after every chunk of adversarial input.
+  std::optional<std::string> check_invariants() const;
 
  private:
   struct Stream {
@@ -169,7 +179,7 @@ class Connection {
                           std::uint32_t promised_id = 0);
   void trace_send(std::string_view name, std::uint32_t stream,
                   std::int64_t bytes);
-  void connection_error(const std::string& message);
+  void connection_error(ErrorCode code, const std::string& message);
   void handle_frame(Frame frame);
   void apply_remote_settings(const SettingsFrame& frame);
   Stream& ensure_stream(std::uint32_t id);
@@ -186,6 +196,9 @@ class Connection {
 
   std::map<std::uint32_t, Stream> streams_;
   std::uint32_t next_stream_id_;  // odd (client) / even (server pushes)
+  // Highest stream id the peer has opened / promised; lower unknown ids are
+  // idle-by-definition and frames on them are protocol errors (§5.1.1).
+  std::uint32_t max_peer_stream_ = 0;
   bool preface_pending_ = false;  // server expects the client preface
   std::vector<std::uint8_t> preface_buf_;
   bool started_ = false;
@@ -203,6 +216,7 @@ class Connection {
   std::vector<std::uint8_t> hpack_scratch_;  // reused per header block
   std::uint64_t total_data_sent_ = 0;
   std::string last_error_;
+  ErrorCode last_error_code_ = ErrorCode::kNoError;
   bool errored_ = false;
 
   trace::TraceRecorder* trace_ = nullptr;

@@ -62,6 +62,10 @@ std::uint8_t* put_priority(std::uint8_t* p, const PrioritySpec& prio) {
 
 constexpr std::size_t kFrameHeader = 9;
 
+util::Unexpected<ParseError> parse_error(ErrorCode code, std::string message) {
+  return util::make_unexpected(ParseError{code, std::move(message)});
+}
+
 /// Wire size of a HEADERS/PUSH_PROMISE carrying `block` bytes whose first
 /// frame has `first_cap` payload capacity, plus CONTINUATION overhead.
 std::size_t header_block_wire_size(std::size_t block, std::size_t first_cap,
@@ -287,29 +291,33 @@ std::vector<std::uint8_t> serialize(const Frame& frame,
   return out;
 }
 
-util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
+util::Expected<std::optional<Frame>, ParseError> FrameParser::parse_one(
     std::span<const std::uint8_t> payload, std::uint8_t type,
     std::uint8_t flags, std::uint32_t stream_id) {
   const auto ft = static_cast<FrameType>(type);
 
+  // §6.10: once a HEADERS/PUSH_PROMISE without END_HEADERS is on the wire,
+  // only CONTINUATION frames for that stream may follow.
   if (expecting_continuation_ && ft != FrameType::kContinuation) {
-    return util::make_unexpected("expected CONTINUATION");
+    return parse_error(ErrorCode::kProtocolError, "expected CONTINUATION");
   }
 
   switch (ft) {
     case FrameType::kData: {
-      if (stream_id == 0) return util::make_unexpected("DATA on stream 0");
+      if (stream_id == 0) return parse_error(ErrorCode::kProtocolError, "DATA on stream 0");
       DataFrame f;
       f.stream_id = stream_id;
       f.end_stream = flags & kFlagEndStream;
       std::size_t pos = 0;
       std::size_t pad = 0;
       if (flags & kFlagPadded) {
-        if (payload.empty()) return util::make_unexpected("DATA: bad pad");
+        if (payload.empty()) {
+          return parse_error(ErrorCode::kFrameSizeError, "DATA: bad pad");
+        }
         pad = payload[0];
         pos = 1;
         if (pad + pos > payload.size()) {
-          return util::make_unexpected("DATA: pad beyond frame");
+          return parse_error(ErrorCode::kProtocolError, "DATA: pad beyond frame");
         }
       }
       f.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
@@ -318,26 +326,29 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
       return std::optional<Frame>(std::move(f));
     }
     case FrameType::kHeaders: {
-      if (stream_id == 0) return util::make_unexpected("HEADERS on stream 0");
+      if (stream_id == 0) return parse_error(ErrorCode::kProtocolError, "HEADERS on stream 0");
       HeadersFrame f;
       f.stream_id = stream_id;
       f.end_stream = flags & kFlagEndStream;
       std::size_t pos = 0;
       std::size_t pad = 0;
       if (flags & kFlagPadded) {
-        if (payload.empty()) return util::make_unexpected("HEADERS: bad pad");
+        if (payload.empty()) {
+          return parse_error(ErrorCode::kFrameSizeError, "HEADERS: bad pad");
+        }
         pad = payload[0];
         pos = 1;
       }
       if (flags & kFlagPriority) {
         if (pos + 5 > payload.size()) {
-          return util::make_unexpected("HEADERS: truncated priority");
+          return parse_error(ErrorCode::kFrameSizeError,
+                             "HEADERS: truncated priority");
         }
         f.priority = get_priority(payload, pos);
         pos += 5;
       }
       if (pad + pos > payload.size()) {
-        return util::make_unexpected("HEADERS: pad beyond frame");
+        return parse_error(ErrorCode::kProtocolError, "HEADERS: pad beyond frame");
       }
       f.header_block.assign(
           payload.begin() + static_cast<std::ptrdiff_t>(pos),
@@ -349,8 +360,11 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
       return std::optional<Frame>(std::nullopt);
     }
     case FrameType::kPriority: {
+      if (stream_id == 0) {
+        return parse_error(ErrorCode::kProtocolError, "PRIORITY on stream 0");
+      }
       if (payload.size() != 5) {
-        return util::make_unexpected("PRIORITY: bad length");
+        return parse_error(ErrorCode::kFrameSizeError, "PRIORITY: bad length");
       }
       PriorityFrame f;
       f.stream_id = stream_id;
@@ -358,8 +372,11 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
       return std::optional<Frame>(std::move(f));
     }
     case FrameType::kRstStream: {
+      if (stream_id == 0) {
+        return parse_error(ErrorCode::kProtocolError, "RST_STREAM on stream 0");
+      }
       if (payload.size() != 4) {
-        return util::make_unexpected("RST_STREAM: bad length");
+        return parse_error(ErrorCode::kFrameSizeError, "RST_STREAM: bad length");
       }
       RstStreamFrame f;
       f.stream_id = stream_id;
@@ -368,15 +385,16 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
     }
     case FrameType::kSettings: {
       if (stream_id != 0) {
-        return util::make_unexpected("SETTINGS on a stream");
+        return parse_error(ErrorCode::kProtocolError, "SETTINGS on a stream");
       }
       SettingsFrame f;
       f.ack = flags & kFlagAck;
       if (f.ack && !payload.empty()) {
-        return util::make_unexpected("SETTINGS ack with payload");
+        return parse_error(ErrorCode::kFrameSizeError,
+                           "SETTINGS ack with payload");
       }
       if (payload.size() % 6 != 0) {
-        return util::make_unexpected("SETTINGS: bad length");
+        return parse_error(ErrorCode::kFrameSizeError, "SETTINGS: bad length");
       }
       for (std::size_t i = 0; i + 6 <= payload.size(); i += 6) {
         const auto id = static_cast<SettingsId>(
@@ -387,7 +405,7 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
     }
     case FrameType::kPushPromise: {
       if (stream_id == 0) {
-        return util::make_unexpected("PUSH_PROMISE on stream 0");
+        return parse_error(ErrorCode::kProtocolError, "PUSH_PROMISE on stream 0");
       }
       PushPromiseFrame f;
       f.stream_id = stream_id;
@@ -395,13 +413,13 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
       std::size_t pad = 0;
       if (flags & kFlagPadded) {
         if (payload.empty()) {
-          return util::make_unexpected("PUSH_PROMISE: bad pad");
+          return parse_error(ErrorCode::kFrameSizeError, "PUSH_PROMISE: bad pad");
         }
         pad = payload[0];
         pos = 1;
       }
       if (pos + 4 + pad > payload.size()) {
-        return util::make_unexpected("PUSH_PROMISE: truncated");
+        return parse_error(ErrorCode::kFrameSizeError, "PUSH_PROMISE: truncated");
       }
       f.promised_id = get_u32(payload, pos) & 0x7fffffff;
       f.header_block.assign(
@@ -414,7 +432,12 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
       return std::optional<Frame>(std::nullopt);
     }
     case FrameType::kPing: {
-      if (payload.size() != 8) return util::make_unexpected("PING: length");
+      if (stream_id != 0) {
+        return parse_error(ErrorCode::kProtocolError, "PING on a stream");
+      }
+      if (payload.size() != 8) {
+        return parse_error(ErrorCode::kFrameSizeError, "PING: length");
+      }
       PingFrame f;
       f.ack = flags & kFlagAck;
       f.opaque = 0;
@@ -422,7 +445,12 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
       return std::optional<Frame>(std::move(f));
     }
     case FrameType::kGoaway: {
-      if (payload.size() < 8) return util::make_unexpected("GOAWAY: length");
+      if (stream_id != 0) {
+        return parse_error(ErrorCode::kProtocolError, "GOAWAY on a stream");
+      }
+      if (payload.size() < 8) {
+        return parse_error(ErrorCode::kFrameSizeError, "GOAWAY: length");
+      }
       GoawayFrame f;
       f.last_stream_id = get_u32(payload, 0) & 0x7fffffff;
       f.error = static_cast<ErrorCode>(get_u32(payload, 4));
@@ -431,19 +459,20 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
     }
     case FrameType::kWindowUpdate: {
       if (payload.size() != 4) {
-        return util::make_unexpected("WINDOW_UPDATE: length");
+        return parse_error(ErrorCode::kFrameSizeError, "WINDOW_UPDATE: length");
       }
       WindowUpdateFrame f;
       f.stream_id = stream_id;
       f.increment = get_u32(payload, 0) & 0x7fffffff;
       if (f.increment == 0) {
-        return util::make_unexpected("WINDOW_UPDATE: zero increment");
+        return parse_error(ErrorCode::kProtocolError,
+                           "WINDOW_UPDATE: zero increment");
       }
       return std::optional<Frame>(std::move(f));
     }
     case FrameType::kContinuation: {
       if (!expecting_continuation_) {
-        return util::make_unexpected("unexpected CONTINUATION");
+        return parse_error(ErrorCode::kProtocolError, "unexpected CONTINUATION");
       }
       auto& block = pending_is_push_promise_ ? pending_push_.header_block
                                              : pending_headers_.header_block;
@@ -451,7 +480,11 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
                                                 ? pending_push_.stream_id
                                                 : pending_headers_.stream_id;
       if (stream_id != expected_stream) {
-        return util::make_unexpected("CONTINUATION: wrong stream");
+        return parse_error(ErrorCode::kProtocolError, "CONTINUATION: wrong stream");
+      }
+      if (block.size() + payload.size() > max_header_block_) {
+        return parse_error(ErrorCode::kEnhanceYourCalm,
+                           "header block exceeds reassembly cap");
       }
       block.insert(block.end(), payload.begin(), payload.end());
       if (flags & kFlagEndHeaders) {
@@ -474,7 +507,7 @@ util::Expected<std::optional<Frame>, std::string> FrameParser::parse_one(
   return std::optional<Frame>(std::move(f));
 }
 
-util::Expected<std::vector<Frame>, std::string> FrameParser::feed(
+util::Expected<std::vector<Frame>, ParseError> FrameParser::feed(
     std::span<const std::uint8_t> bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
   std::vector<Frame> frames;
@@ -484,7 +517,8 @@ util::Expected<std::vector<Frame>, std::string> FrameParser::feed(
     const std::size_t length = (static_cast<std::size_t>(p[0]) << 16) |
                                (static_cast<std::size_t>(p[1]) << 8) | p[2];
     if (length > max_frame_size_) {
-      return util::make_unexpected("frame exceeds max frame size");
+      return parse_error(ErrorCode::kFrameSizeError,
+                         "frame exceeds max frame size");
     }
     if (buffer_.size() - consumed < 9 + length) break;
     const std::uint8_t type = p[3];

@@ -72,6 +72,14 @@ constexpr std::uint32_t kDefaultInitialWindow = 65535;
 constexpr std::uint32_t kDefaultMaxFrameSize = 16384;
 constexpr std::uint32_t kMaxWindow = 0x7fffffff;
 
+/// A framing-layer protocol violation. `code` is the RFC 7540 connection
+/// error the receiver must surface in its GOAWAY (§5.4.1): length
+/// violations map to FRAME_SIZE_ERROR, everything else to PROTOCOL_ERROR.
+struct ParseError {
+  ErrorCode code = ErrorCode::kProtocolError;
+  std::string message;
+};
+
 /// Stream dependency info carried in HEADERS / PRIORITY frames.
 struct PrioritySpec {
   std::uint32_t depends_on = 0;
@@ -87,6 +95,7 @@ struct DataFrame {
   /// Pad-Length octet + padding stripped by the parser (flow-control
   /// accounting needs the full payload size, RFC 7540 §6.9).
   std::size_t padding_bytes = 0;
+  bool operator==(const DataFrame&) const = default;
 };
 
 struct HeadersFrame {
@@ -94,43 +103,51 @@ struct HeadersFrame {
   bool end_stream = false;
   std::optional<PrioritySpec> priority;
   std::vector<std::uint8_t> header_block;  // complete (post-CONTINUATION)
+  bool operator==(const HeadersFrame&) const = default;
 };
 
 struct PriorityFrame {
   std::uint32_t stream_id = 0;
   PrioritySpec priority;
+  bool operator==(const PriorityFrame&) const = default;
 };
 
 struct RstStreamFrame {
   std::uint32_t stream_id = 0;
   ErrorCode error = ErrorCode::kNoError;
+  bool operator==(const RstStreamFrame&) const = default;
 };
 
 struct SettingsFrame {
   bool ack = false;
   std::vector<std::pair<SettingsId, std::uint32_t>> settings;
+  bool operator==(const SettingsFrame&) const = default;
 };
 
 struct PushPromiseFrame {
   std::uint32_t stream_id = 0;    // the stream the promise rides on
   std::uint32_t promised_id = 0;  // even, server-initiated
   std::vector<std::uint8_t> header_block;
+  bool operator==(const PushPromiseFrame&) const = default;
 };
 
 struct PingFrame {
   bool ack = false;
   std::uint64_t opaque = 0;
+  bool operator==(const PingFrame&) const = default;
 };
 
 struct GoawayFrame {
   std::uint32_t last_stream_id = 0;
   ErrorCode error = ErrorCode::kNoError;
   std::string debug_data;
+  bool operator==(const GoawayFrame&) const = default;
 };
 
 struct WindowUpdateFrame {
   std::uint32_t stream_id = 0;  // 0 = connection
   std::uint32_t increment = 0;
+  bool operator==(const WindowUpdateFrame&) const = default;
 };
 
 /// Frames of types outside RFC 7540 (e.g. CACHE_DIGEST, 0xd). RFC 7540 §4.1
@@ -141,6 +158,7 @@ struct ExtensionFrame {
   std::uint8_t flags = 0;
   std::uint32_t stream_id = 0;
   std::vector<std::uint8_t> payload;
+  bool operator==(const ExtensionFrame&) const = default;
 };
 
 using Frame = std::variant<DataFrame, HeadersFrame, PriorityFrame,
@@ -201,20 +219,28 @@ class FrameParser {
 
   /// Feed bytes; returns the frames completed by this chunk, or a connection
   /// error (the stream is poisoned afterwards).
-  util::Expected<std::vector<Frame>, std::string> feed(
+  util::Expected<std::vector<Frame>, ParseError> feed(
       std::span<const std::uint8_t> bytes);
 
   void set_max_frame_size(std::uint32_t size) noexcept {
     max_frame_size_ = size;
   }
 
+  /// Cap on a reassembled (post-CONTINUATION) header block. An adversarial
+  /// peer can otherwise grow the pending block without bound — the
+  /// SETTINGS_MAX_HEADER_LIST_SIZE limit is advisory, this one is not.
+  void set_max_header_block(std::size_t bytes) noexcept {
+    max_header_block_ = bytes;
+  }
+
  private:
-  util::Expected<std::optional<Frame>, std::string> parse_one(
+  util::Expected<std::optional<Frame>, ParseError> parse_one(
       std::span<const std::uint8_t> payload, std::uint8_t type,
       std::uint8_t flags, std::uint32_t stream_id);
 
   std::vector<std::uint8_t> buffer_;
   std::uint32_t max_frame_size_;
+  std::size_t max_header_block_ = 1 << 20;
   // CONTINUATION reassembly state.
   bool expecting_continuation_ = false;
   bool pending_is_push_promise_ = false;

@@ -90,6 +90,19 @@ std::size_t static_find(const std::string& name, const std::string& value,
 
 }  // namespace
 
+std::size_t hpack_static_table_size() noexcept { return kStaticTable.size(); }
+
+std::pair<std::string_view, std::string_view> hpack_static_at(
+    std::size_t index) {
+  return kStaticTable[index - 1];
+}
+
+std::size_t hpack_static_find(const std::string& name,
+                              const std::string& value,
+                              std::size_t& name_only_out) {
+  return static_find(name, value, name_only_out);
+}
+
 void hpack_encode_int(std::uint64_t value, int prefix_bits,
                       std::uint8_t first_byte_flags,
                       std::vector<std::uint8_t>& out) {
@@ -170,8 +183,10 @@ void HpackEncoder::set_table_size(std::size_t max) {
 void HpackEncoder::encode_string(const std::string& s, bool use_huffman,
                                  std::vector<std::uint8_t>& out) {
   if (use_huffman) {
+    // Prefer Huffman on ties: RFC 7541 Appendix C's example encoder does
+    // (C.6.2 codes "307" in 3 Huffman bytes where raw is also 3).
     const std::size_t hlen = huffman_encoded_size(s);
-    if (hlen < s.size()) {
+    if (hlen <= s.size()) {
       hpack_encode_int(hlen, 7, 0x80, out);
       huffman_encode(s, out);
       return;

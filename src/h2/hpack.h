@@ -11,6 +11,8 @@
 #include <deque>
 #include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "http/message.h"
@@ -27,6 +29,23 @@ void hpack_encode_int(std::uint64_t value, int prefix_bits,
 /// Decode a prefix integer starting at `pos`; advances `pos` past it.
 util::Expected<std::uint64_t, std::string> hpack_decode_int(
     std::span<const std::uint8_t> in, std::size_t& pos, int prefix_bits);
+
+// Read-only access to the RFC 7541 Appendix A static table, for tooling
+// (e.g. the structure-aware fuzz generators) that builds header blocks with
+// explicit representation choices instead of the encoder's fixed policy.
+
+/// Number of static-table entries (61).
+std::size_t hpack_static_table_size() noexcept;
+
+/// Entry at 1-based HPACK `index` in [1, hpack_static_table_size()].
+std::pair<std::string_view, std::string_view> hpack_static_at(
+    std::size_t index);
+
+/// 1-based index of the exact match, or 0 if absent; `name_only_out`
+/// receives the first name-only match (or 0).
+std::size_t hpack_static_find(const std::string& name,
+                              const std::string& value,
+                              std::size_t& name_only_out);
 
 /// Shared dynamic-table logic (RFC 7541 §4): FIFO with 32-byte-per-entry
 /// overhead accounting, evicting from the oldest end.

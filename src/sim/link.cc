@@ -14,6 +14,7 @@ bool Link::transmit(std::size_t bytes, Time extra_delay,
   if (queued_bytes_ + bytes > config_.queue_capacity ||
       queued_packets_ >= config_.queue_packets) {
     ++dropped_;
+    dropped_bytes_ += bytes;
     if (trace_) {
       trace_->instant(track_, "sim", "drop.queue_full", {{"bytes", bytes}});
       ++trace_->summary().packets_dropped;
@@ -22,6 +23,7 @@ bool Link::transmit(std::size_t bytes, Time extra_delay,
   }
   if (config_.random_loss > 0 && loss_rng_.bernoulli(config_.random_loss)) {
     ++dropped_;
+    dropped_bytes_ += bytes;
     if (trace_) {
       trace_->instant(track_, "sim", "drop.random_loss", {{"bytes", bytes}});
       ++trace_->summary().packets_dropped;
@@ -29,6 +31,7 @@ bool Link::transmit(std::size_t bytes, Time extra_delay,
     return true;  // consumed by the network, silently lost
   }
   queued_bytes_ += bytes;
+  accepted_bytes_ += bytes;
   ++queued_packets_;
   const double ser_seconds =
       static_cast<double>(bytes) * 8.0 / config_.rate_bps;
@@ -56,8 +59,9 @@ bool Link::transmit(std::size_t bytes, Time extra_delay,
   });
   // ...and arrive after propagation.
   sim_.schedule_at(depart + config_.prop_delay + extra_delay,
-                   [this, cb = std::move(on_delivered)] {
+                   [this, bytes, cb = std::move(on_delivered)] {
                      ++delivered_;
+                     delivered_bytes_ += bytes;
                      if (trace_) ++trace_->summary().packets_delivered;
                      cb();
                    });

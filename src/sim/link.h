@@ -46,6 +46,13 @@ class Link {
   std::size_t queued_packets() const noexcept { return queued_packets_; }
   std::uint64_t delivered_packets() const noexcept { return delivered_; }
   std::uint64_t dropped_packets() const noexcept { return dropped_; }
+
+  // Byte conservation (fuzz/invariants.h): every byte accepted onto the
+  // link is eventually delivered; dropped bytes never enter the queue.
+  // With the simulator drained: accepted == delivered and queued == 0.
+  std::uint64_t accepted_bytes() const noexcept { return accepted_bytes_; }
+  std::uint64_t delivered_bytes() const noexcept { return delivered_bytes_; }
+  std::uint64_t dropped_bytes() const noexcept { return dropped_bytes_; }
   /// Cumulative serialization time: (now - busy_time) is the link's idle
   /// time, the resource Server Push tries to fill (paper §4.3).
   Time busy_time() const noexcept { return busy_time_; }
@@ -69,6 +76,9 @@ class Link {
   std::size_t queued_packets_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t accepted_bytes_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
   trace::TraceRecorder* trace_ = nullptr;
   std::uint32_t track_ = 0;
 };

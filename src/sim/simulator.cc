@@ -62,6 +62,7 @@ bool Simulator::step() {
     }
     now_ = time;
     ++executed_;
+    if (fire_hook_) fire_hook_(time);
     node->fn();
     release_node(node);
     return true;

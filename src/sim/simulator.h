@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
 #include <queue>
@@ -130,6 +131,18 @@ class Simulator {
   /// Nodes currently on the free list (observability for pool tests).
   std::size_t pooled_nodes() const noexcept;
 
+  /// Total pool capacity ever allocated (observability for pool tests:
+  /// allocated_nodes() - pooled_nodes() = live nodes).
+  std::size_t allocated_nodes() const noexcept { return nodes_.size(); }
+
+  /// Invariant-checker hook, called with the fire time of every event just
+  /// before its callback runs. Empty (the default) costs one branch in
+  /// step(); tests install a checker that asserts time monotonicity and
+  /// cross-layer conservation laws (see fuzz/invariants.h).
+  void set_fire_hook(std::function<void(Time)> hook) {
+    fire_hook_ = std::move(hook);
+  }
+
  private:
   struct EventNode {
     detail::EventFn fn;
@@ -164,6 +177,7 @@ class Simulator {
   std::vector<std::unique_ptr<EventNode[]>> blocks_;
   std::vector<EventNode*> nodes_;
   EventNode* free_list_ = nullptr;
+  std::function<void(Time)> fire_hook_;
 };
 
 }  // namespace h2push::sim

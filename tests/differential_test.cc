@@ -1,0 +1,124 @@
+// H1-vs-H2 differential oracle (paper §4.1: the testbed must deliver the
+// same bytes over either protocol — only *when* they arrive differs).
+//
+// For a seeded corpus of generated sites, a no-push page load over HTTP/1.1
+// and over HTTP/2 must fetch the same resources with the same body bytes:
+// identical bytes_total, identical per-URL sizes, zero pushes. Any drift
+// means one protocol stack is dropping, duplicating, or truncating a
+// resource. Determinism of each stack is checked too: the same (site,
+// seed, run_index) must reproduce the identical result.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "browser/page_load.h"
+#include "core/strategy.h"
+#include "core/testbed.h"
+#include "fuzz_common.h"
+#include "web/corpus.h"
+#include "web/site.h"
+
+namespace h2push {
+namespace {
+
+using fuzz_test::seed_msg;
+
+std::map<std::string, std::size_t> resource_sizes(
+    const browser::PageLoadResult& result) {
+  std::map<std::string, std::size_t> sizes;
+  for (const auto& res : result.resources) sizes[res.url] += res.size;
+  return sizes;
+}
+
+core::RunConfig config_for(bool http1, std::uint64_t seed) {
+  core::RunConfig config;
+  config.browser.use_http1 = http1;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Differential, H1AndH2DeliverIdenticalResourceBytes) {
+  // A small cross-profile corpus: sizes and structure vary a lot between
+  // top-100-ish and random-100-ish plans, which is exactly the variation
+  // that shakes out framing/chunking disagreements.
+  const std::size_t kSites = 6;
+  for (std::size_t i = 0; i < kSites; ++i) {
+    const std::uint64_t seed = fuzz_test::kDifferentialSeed + i;
+    const auto profile = (i % 2 == 0) ? web::PopulationProfile::top100()
+                                      : web::PopulationProfile::random100();
+    const auto site = web::build_site(
+        web::generate_page(profile, "diff-" + std::to_string(i), seed));
+
+    const auto h1 = core::run_page_load(site, core::no_push(),
+                                        config_for(true, seed));
+    const auto h2 = core::run_page_load(site, core::no_push(),
+                                        config_for(false, seed));
+
+    ASSERT_TRUE(h1.complete) << "H1 load did not finish" << seed_msg(seed);
+    ASSERT_TRUE(h2.complete) << "H2 load did not finish" << seed_msg(seed);
+    EXPECT_EQ(h1.bytes_total, h2.bytes_total) << seed_msg(seed);
+    EXPECT_EQ(h1.num_requests, h2.num_requests) << seed_msg(seed);
+    EXPECT_EQ(h1.bytes_pushed, 0u) << seed_msg(seed);
+    EXPECT_EQ(h2.bytes_pushed, 0u)
+        << "no-push strategy pushed bytes" << seed_msg(seed);
+    EXPECT_EQ(h1.num_pushed, 0u) << seed_msg(seed);
+    EXPECT_EQ(h2.num_pushed, 0u) << seed_msg(seed);
+
+    // Byte totals can agree by accident; per-URL sizes cannot.
+    const auto h1_sizes = resource_sizes(h1);
+    const auto h2_sizes = resource_sizes(h2);
+    ASSERT_EQ(h1_sizes.size(), h2_sizes.size()) << seed_msg(seed);
+    for (const auto& [url, size] : h1_sizes) {
+      const auto it = h2_sizes.find(url);
+      ASSERT_NE(it, h2_sizes.end())
+          << "H2 never fetched " << url << seed_msg(seed);
+      EXPECT_EQ(it->second, size)
+          << "size mismatch for " << url << seed_msg(seed);
+    }
+  }
+}
+
+TEST(Differential, RepeatedRunsAreByteIdentical) {
+  const std::uint64_t seed = fuzz_test::kDifferentialSeed + 100;
+  const auto site = web::build_site(web::generate_page(
+      web::PopulationProfile::random100(), "diff-repeat", seed));
+  for (const bool http1 : {true, false}) {
+    const auto a =
+        core::run_page_load(site, core::no_push(), config_for(http1, seed));
+    const auto b =
+        core::run_page_load(site, core::no_push(), config_for(http1, seed));
+    EXPECT_EQ(a.bytes_total, b.bytes_total) << seed_msg(seed);
+    EXPECT_EQ(a.num_requests, b.num_requests) << seed_msg(seed);
+    EXPECT_EQ(a.plt_ms, b.plt_ms) << seed_msg(seed);
+    EXPECT_EQ(resource_sizes(a), resource_sizes(b)) << seed_msg(seed);
+  }
+}
+
+// Push moves bytes to the push channel but must not change the total body
+// bytes the client ends up with (paper §2.1: push changes *timing*, and
+// wasted bytes only appear with cold-cache mismatches, which a fresh
+// no-cache client here cannot have — everything pushed is needed).
+TEST(Differential, PushAllPreservesTotalBodyBytes) {
+  const std::uint64_t seed = fuzz_test::kDifferentialSeed + 200;
+  const auto site = web::build_site(web::generate_page(
+      web::PopulationProfile::top100(), "diff-push", seed));
+
+  const auto plain =
+      core::run_page_load(site, core::no_push(), config_for(false, seed));
+  const auto pushed = core::run_page_load(
+      site, core::push_all(site, web::resource_urls(site)),
+      config_for(false, seed));
+  ASSERT_TRUE(plain.complete) << seed_msg(seed);
+  ASSERT_TRUE(pushed.complete) << seed_msg(seed);
+  // Cancelled pushes could make the totals diverge legitimately; with a
+  // cold cache and same-connection resources there must be none.
+  EXPECT_EQ(pushed.pushes_cancelled, 0u) << seed_msg(seed);
+  EXPECT_EQ(plain.bytes_total, pushed.bytes_total) << seed_msg(seed);
+  EXPECT_EQ(resource_sizes(plain), resource_sizes(pushed)) << seed_msg(seed);
+  EXPECT_GT(pushed.bytes_pushed, 0u)
+      << "push-all pushed nothing on a pushable site" << seed_msg(seed);
+}
+
+}  // namespace
+}  // namespace h2push

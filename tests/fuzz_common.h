@@ -1,0 +1,41 @@
+// Shared plumbing for the seeded mini-fuzz suites.
+//
+// Seed contract (DESIGN.md §5e): iteration i of a suite with master seed M
+// uses PRNG seed M + i. A failure message always carries that seed; to
+// reproduce, construct fuzz::Random(seed) and re-run the single iteration.
+// H2PUSH_FUZZ_ITERS scales iteration counts (CI uses the 10k default;
+// overnight runs crank it up; quick local cycles turn it down).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace h2push::fuzz_test {
+
+/// Master seeds, one per suite so suites explore independent spaces.
+constexpr std::uint64_t kFrameSeed = 0xf2a7e5eed0001ULL;
+constexpr std::uint64_t kHpackSeed = 0xf2a7e5eed0002ULL;
+constexpr std::uint64_t kConnectionSeed = 0xf2a7e5eed0003ULL;
+constexpr std::uint64_t kSimSeed = 0xf2a7e5eed0004ULL;
+constexpr std::uint64_t kPropertySeed = 0xf2a7e5eed0005ULL;
+constexpr std::uint64_t kDifferentialSeed = 0xf2a7e5eed0006ULL;
+
+inline std::size_t iterations(std::size_t def = 10000) {
+  if (const char* env = std::getenv("H2PUSH_FUZZ_ITERS")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return def;
+}
+
+inline std::string seed_msg(std::uint64_t seed) {
+  return " [reproduce with seed " + std::to_string(seed) + "]";
+}
+
+/// Committed regression corpus root (tests/corpus), baked in by CMake.
+inline std::string corpus_dir(const std::string& sub) {
+  return std::string(H2PUSH_CORPUS_DIR) + "/" + sub;
+}
+
+}  // namespace h2push::fuzz_test

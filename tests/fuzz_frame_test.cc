@@ -1,0 +1,141 @@
+// Seeded mini-fuzz for the frame layer (RFC 7540 §4, §6).
+//
+// Oracles: serialize→parse→serialize byte identity on random valid frames,
+// chunked-feed equivalence (framing can never depend on TCP segmentation),
+// and no-crash robustness on mutated/raw byte streams. Every failure
+// message carries the uint64 seed that reproduces it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/gen_frame.h"
+#include "fuzz/mutate.h"
+#include "fuzz/oracles.h"
+#include "fuzz/random.h"
+#include "fuzz_common.h"
+#include "h2/frame.h"
+
+namespace h2push {
+namespace {
+
+using fuzz::Random;
+using fuzz_test::iterations;
+using fuzz_test::seed_msg;
+
+TEST(FuzzFrame, RoundTripRandomValidFrames) {
+  const std::size_t iters = iterations();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = fuzz_test::kFrameSeed + i;
+    Random r(seed);
+    const auto frame = fuzz::random_valid_frame(r);
+    if (auto divergence = fuzz::frame_round_trip(frame)) {
+      FAIL() << *divergence << seed_msg(seed);
+    }
+  }
+}
+
+TEST(FuzzFrame, ChunkedFeedEquivalence) {
+  const std::size_t iters = iterations(2000);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = fuzz_test::kFrameSeed + (1u << 20) + i;
+    Random r(seed);
+
+    // A run of valid frames on one wire.
+    std::vector<std::uint8_t> wire;
+    std::vector<h2::Frame> sent;
+    auto gen = r.fork("frames");
+    const std::size_t count = gen.range(1, 8);
+    for (std::size_t j = 0; j < count; ++j) {
+      sent.push_back(fuzz::random_valid_frame(gen));
+      h2::serialize_into(sent.back(), wire);
+    }
+
+    h2::FrameParser whole;
+    auto all = whole.feed(wire);
+    ASSERT_TRUE(all.has_value()) << all.error().message << seed_msg(seed);
+
+    h2::FrameParser chunked;
+    std::vector<h2::Frame> reassembled;
+    auto chunks = r.fork("chunks");
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const auto take = static_cast<std::size_t>(
+          chunks.range(1, std::min<std::size_t>(wire.size() - off, 97)));
+      auto part = chunked.feed(
+          std::span<const std::uint8_t>(wire.data() + off, take));
+      ASSERT_TRUE(part.has_value()) << part.error().message << seed_msg(seed);
+      for (auto& f : *part) reassembled.push_back(std::move(f));
+      off += take;
+    }
+
+    ASSERT_EQ(all->size(), reassembled.size()) << seed_msg(seed);
+    ASSERT_EQ(all->size(), sent.size()) << seed_msg(seed);
+    for (std::size_t j = 0; j < all->size(); ++j) {
+      EXPECT_TRUE((*all)[j] == reassembled[j])
+          << "frame " << j << " differs between whole and chunked feed"
+          << seed_msg(seed);
+      EXPECT_TRUE((*all)[j] == sent[j])
+          << "frame " << j << " differs from what was sent" << seed_msg(seed);
+    }
+  }
+}
+
+TEST(FuzzFrame, MutatedTrafficNeverCrashesParser) {
+  const std::size_t iters = iterations();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = fuzz_test::kFrameSeed + (2u << 20) + i;
+    Random r(seed);
+    auto gen = r.fork("gen");
+    const auto traffic =
+        fuzz::random_client_traffic(gen, fuzz::TrafficOptions{false, 4, 0.3});
+    auto mut = r.fork("mut");
+    const auto data = fuzz::mutate_traffic(mut, traffic);
+
+    // Feed in random chunks; any outcome except crash/UB is acceptable,
+    // and after the parser reports an error it stays poisoned.
+    h2::FrameParser parser;
+    auto chunks = r.fork("chunks");
+    std::size_t off = 0;
+    bool poisoned = false;
+    while (off < data.size()) {
+      const auto take = static_cast<std::size_t>(chunks.range(
+          1, std::min<std::size_t>(data.size() - off, 4096)));
+      auto out = parser.feed(
+          std::span<const std::uint8_t>(data.data() + off, take));
+      if (poisoned) {
+        EXPECT_FALSE(out.has_value())
+            << "parser recovered after poisoning" << seed_msg(seed);
+      }
+      if (!out) poisoned = true;
+      off += take;
+    }
+  }
+}
+
+TEST(FuzzFrame, RawByteSoupNeverCrashesParser) {
+  const std::size_t iters = iterations();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = fuzz_test::kFrameSeed + (3u << 20) + i;
+    Random r(seed);
+    const auto soup = r.bytes(0, 512);
+    h2::FrameParser parser;
+    (void)parser.feed(soup);  // must terminate without UB for any input
+  }
+}
+
+// Committed binary reproducers: every file under tests/corpus/frame is a
+// byte stream that once broke the parser. They must all be handled (accept
+// or clean reject) forever.
+TEST(FuzzFrame, CorpusReplays) {
+  const auto corpus = fuzz::load_corpus_dir(fuzz_test::corpus_dir("frame"));
+  EXPECT_FALSE(corpus.empty());
+  for (const auto& [name, bytes] : corpus) {
+    h2::FrameParser parser;
+    (void)parser.feed(bytes);
+    SUCCEED() << name;
+  }
+}
+
+}  // namespace
+}  // namespace h2push

@@ -1,0 +1,332 @@
+// RFC 7541 Appendix C golden vectors, bit-exact.
+//
+// Every story (C.2 single representations, C.3 request sequence without
+// Huffman, C.4 with Huffman, C.5 response sequence with a 256-byte table
+// and eviction, C.6 the same with Huffman) is checked in both directions
+// where our encoder's policy matches the RFC's example encoder (indexed on
+// exact match, incremental indexing otherwise, static name indices): the
+// decoder must produce the exact header lists and dynamic-table contents
+// printed in the RFC, and the encoder must reproduce the exact bytes.
+// C.2.2–C.2.4 use representations our encoder never emits, so those are
+// decoder-only.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "h2/hpack.h"
+#include "http/message.h"
+
+namespace h2push {
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  std::string clean;
+  for (const char c : hex) {
+    if (c != ' ' && c != '\n') clean += c;
+  }
+  for (std::size_t i = 0; i + 1 < clean.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoi(clean.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+struct TableEntry {
+  std::string name;
+  std::string value;
+  std::size_t size;
+};
+
+void expect_table(const h2::HpackDynamicTable& table,
+                  const std::vector<TableEntry>& expected,
+                  std::size_t total) {
+  ASSERT_EQ(table.entry_count(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(table.at(i).name, expected[i].name) << "entry " << i + 1;
+    EXPECT_EQ(table.at(i).value, expected[i].value) << "entry " << i + 1;
+    EXPECT_EQ(expected[i].size,
+              expected[i].name.size() + expected[i].value.size() + 32)
+        << "test-vector size constant is wrong for entry " << i + 1;
+  }
+  EXPECT_EQ(table.size(), total);
+}
+
+void expect_decodes_to(h2::HpackDecoder& decoder, const std::string& hex,
+                       const http::HeaderBlock& expected) {
+  auto decoded = decoder.decode(from_hex(hex));
+  ASSERT_TRUE(decoded.has_value()) << decoded.error();
+  ASSERT_EQ(decoded->size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].name, expected[i].name) << "header " << i;
+    EXPECT_EQ((*decoded)[i].value, expected[i].value) << "header " << i;
+  }
+}
+
+void expect_encodes_to(h2::HpackEncoder& encoder,
+                       const http::HeaderBlock& block, bool huffman,
+                       const std::string& hex) {
+  const auto bytes = encoder.encode(block, huffman);
+  EXPECT_EQ(bytes, from_hex(hex));
+}
+
+// C.2.1 Literal Header Field with Indexing
+TEST(HpackRfc7541, C21LiteralWithIndexing) {
+  const std::string hex =
+      "400a 6375 7374 6f6d 2d6b 6579 0d63 7573 746f 6d2d 6865 6164 6572";
+  h2::HpackDecoder decoder;
+  expect_decodes_to(decoder, hex, {{"custom-key", "custom-header"}});
+  expect_table(decoder.table(), {{"custom-key", "custom-header", 55}}, 55);
+
+  h2::HpackEncoder encoder;
+  expect_encodes_to(encoder, {{"custom-key", "custom-header"}}, false, hex);
+  expect_table(encoder.table(), {{"custom-key", "custom-header", 55}}, 55);
+}
+
+// C.2.2 Literal Header Field without Indexing (decoder-only: our encoder
+// always uses incremental indexing for misses)
+TEST(HpackRfc7541, C22LiteralWithoutIndexing) {
+  h2::HpackDecoder decoder;
+  expect_decodes_to(decoder, "040c 2f73 616d 706c 652f 7061 7468",
+                    {{":path", "/sample/path"}});
+  expect_table(decoder.table(), {}, 0);
+}
+
+// C.2.3 Literal Header Field Never Indexed (decoder-only)
+TEST(HpackRfc7541, C23LiteralNeverIndexed) {
+  h2::HpackDecoder decoder;
+  expect_decodes_to(decoder, "1008 7061 7373 776f 7264 0673 6563 7265 74",
+                    {{"password", "secret"}});
+  expect_table(decoder.table(), {}, 0);
+}
+
+// C.2.4 Indexed Header Field
+TEST(HpackRfc7541, C24IndexedField) {
+  h2::HpackDecoder decoder;
+  expect_decodes_to(decoder, "82", {{":method", "GET"}});
+  expect_table(decoder.table(), {}, 0);
+}
+
+// C.3: three requests on one connection, no Huffman.
+TEST(HpackRfc7541, C3RequestsWithoutHuffman) {
+  const http::HeaderBlock req1{{":method", "GET"},
+                               {":scheme", "http"},
+                               {":path", "/"},
+                               {":authority", "www.example.com"}};
+  const http::HeaderBlock req2{{":method", "GET"},
+                               {":scheme", "http"},
+                               {":path", "/"},
+                               {":authority", "www.example.com"},
+                               {"cache-control", "no-cache"}};
+  const http::HeaderBlock req3{{":method", "GET"},
+                               {":scheme", "https"},
+                               {":path", "/index.html"},
+                               {":authority", "www.example.com"},
+                               {"custom-key", "custom-value"}};
+  const std::string hex1 =
+      "8286 8441 0f77 7777 2e65 7861 6d70 6c65 2e63 6f6d";
+  const std::string hex2 = "8286 84be 5808 6e6f 2d63 6163 6865";
+  const std::string hex3 =
+      "8287 85bf 400a 6375 7374 6f6d 2d6b 6579 0c63 7573 746f 6d2d 7661 6c75 "
+      "65";
+
+  h2::HpackDecoder decoder;
+  expect_decodes_to(decoder, hex1, req1);
+  expect_table(decoder.table(), {{":authority", "www.example.com", 57}}, 57);
+  expect_decodes_to(decoder, hex2, req2);
+  expect_table(decoder.table(),
+               {{"cache-control", "no-cache", 53},
+                {":authority", "www.example.com", 57}},
+               110);
+  expect_decodes_to(decoder, hex3, req3);
+  expect_table(decoder.table(),
+               {{"custom-key", "custom-value", 54},
+                {"cache-control", "no-cache", 53},
+                {":authority", "www.example.com", 57}},
+               164);
+
+  h2::HpackEncoder encoder;
+  expect_encodes_to(encoder, req1, false, hex1);
+  expect_encodes_to(encoder, req2, false, hex2);
+  expect_encodes_to(encoder, req3, false, hex3);
+  expect_table(encoder.table(),
+               {{"custom-key", "custom-value", 54},
+                {"cache-control", "no-cache", 53},
+                {":authority", "www.example.com", 57}},
+               164);
+}
+
+// C.4: the same three requests, Huffman-coded literals.
+TEST(HpackRfc7541, C4RequestsWithHuffman) {
+  const http::HeaderBlock req1{{":method", "GET"},
+                               {":scheme", "http"},
+                               {":path", "/"},
+                               {":authority", "www.example.com"}};
+  const http::HeaderBlock req2{{":method", "GET"},
+                               {":scheme", "http"},
+                               {":path", "/"},
+                               {":authority", "www.example.com"},
+                               {"cache-control", "no-cache"}};
+  const http::HeaderBlock req3{{":method", "GET"},
+                               {":scheme", "https"},
+                               {":path", "/index.html"},
+                               {":authority", "www.example.com"},
+                               {"custom-key", "custom-value"}};
+  const std::string hex1 = "8286 8441 8cf1 e3c2 e5f2 3a6b a0ab 90f4 ff";
+  const std::string hex2 = "8286 84be 5886 a8eb 1064 9cbf";
+  const std::string hex3 =
+      "8287 85bf 4088 25a8 49e9 5ba9 7d7f 8925 a849 e95b b8e8 b4bf";
+
+  h2::HpackDecoder decoder;
+  expect_decodes_to(decoder, hex1, req1);
+  expect_table(decoder.table(), {{":authority", "www.example.com", 57}}, 57);
+  expect_decodes_to(decoder, hex2, req2);
+  expect_decodes_to(decoder, hex3, req3);
+  expect_table(decoder.table(),
+               {{"custom-key", "custom-value", 54},
+                {"cache-control", "no-cache", 53},
+                {":authority", "www.example.com", 57}},
+               164);
+
+  h2::HpackEncoder encoder;
+  expect_encodes_to(encoder, req1, true, hex1);
+  expect_encodes_to(encoder, req2, true, hex2);
+  expect_encodes_to(encoder, req3, true, hex3);
+  expect_table(encoder.table(),
+               {{"custom-key", "custom-value", 54},
+                {"cache-control", "no-cache", 53},
+                {":authority", "www.example.com", 57}},
+               164);
+}
+
+// C.5: three responses with a 256-byte table — exercises eviction.
+TEST(HpackRfc7541, C5ResponsesWithoutHuffman) {
+  const http::HeaderBlock resp1{
+      {":status", "302"},
+      {"cache-control", "private"},
+      {"date", "Mon, 21 Oct 2013 20:13:21 GMT"},
+      {"location", "https://www.example.com"}};
+  const http::HeaderBlock resp2{
+      {":status", "307"},
+      {"cache-control", "private"},
+      {"date", "Mon, 21 Oct 2013 20:13:21 GMT"},
+      {"location", "https://www.example.com"}};
+  const http::HeaderBlock resp3{
+      {":status", "200"},
+      {"cache-control", "private"},
+      {"date", "Mon, 21 Oct 2013 20:13:22 GMT"},
+      {"location", "https://www.example.com"},
+      {"content-encoding", "gzip"},
+      {"set-cookie",
+       "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1"}};
+  const std::string hex1 =
+      "4803 3330 3258 0770 7269 7661 7465 611d 4d6f 6e2c 2032 3120 4f63 7420 "
+      "3230 3133 2032 303a 3133 3a32 3120 474d 546e 1768 7474 7073 3a2f 2f77 "
+      "7777 2e65 7861 6d70 6c65 2e63 6f6d";
+  const std::string hex2 = "4803 3330 37c1 c0bf";
+  const std::string hex3 =
+      "88c1 611d 4d6f 6e2c 2032 3120 4f63 7420 3230 3133 2032 303a 3133 3a32 "
+      "3220 474d 54c0 5a04 677a 6970 7738 666f 6f3d 4153 444a 4b48 514b 425a "
+      "584f 5157 454f 5049 5541 5851 5745 4f49 553b 206d 6178 2d61 6765 3d33 "
+      "3630 303b 2076 6572 7369 6f6e 3d31";
+
+  const std::vector<TableEntry> after1{
+      {"location", "https://www.example.com", 63},
+      {"date", "Mon, 21 Oct 2013 20:13:21 GMT", 65},
+      {"cache-control", "private", 52},
+      {":status", "302", 42}};
+  const std::vector<TableEntry> after2{
+      {":status", "307", 42},
+      {"location", "https://www.example.com", 63},
+      {"date", "Mon, 21 Oct 2013 20:13:21 GMT", 65},
+      {"cache-control", "private", 52}};
+  const std::vector<TableEntry> after3{
+      {"set-cookie",
+       "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1", 98},
+      {"content-encoding", "gzip", 52},
+      {"date", "Mon, 21 Oct 2013 20:13:22 GMT", 65}};
+
+  h2::HpackDecoder decoder(256);
+  expect_decodes_to(decoder, hex1, resp1);
+  expect_table(decoder.table(), after1, 222);
+  expect_decodes_to(decoder, hex2, resp2);
+  expect_table(decoder.table(), after2, 222);
+  expect_decodes_to(decoder, hex3, resp3);
+  expect_table(decoder.table(), after3, 215);
+
+  h2::HpackEncoder encoder(256);
+  expect_encodes_to(encoder, resp1, false, hex1);
+  expect_encodes_to(encoder, resp2, false, hex2);
+  expect_encodes_to(encoder, resp3, false, hex3);
+  expect_table(encoder.table(), after3, 215);
+}
+
+// C.6: the same three responses, Huffman-coded literals.
+TEST(HpackRfc7541, C6ResponsesWithHuffman) {
+  const http::HeaderBlock resp1{
+      {":status", "302"},
+      {"cache-control", "private"},
+      {"date", "Mon, 21 Oct 2013 20:13:21 GMT"},
+      {"location", "https://www.example.com"}};
+  const http::HeaderBlock resp2{
+      {":status", "307"},
+      {"cache-control", "private"},
+      {"date", "Mon, 21 Oct 2013 20:13:21 GMT"},
+      {"location", "https://www.example.com"}};
+  const http::HeaderBlock resp3{
+      {":status", "200"},
+      {"cache-control", "private"},
+      {"date", "Mon, 21 Oct 2013 20:13:22 GMT"},
+      {"location", "https://www.example.com"},
+      {"content-encoding", "gzip"},
+      {"set-cookie",
+       "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1"}};
+  const std::string hex1 =
+      "4882 6402 5885 aec3 771a 4b61 96d0 7abe 9410 54d4 44a8 2005 9504 0b81 "
+      "66e0 82a6 2d1b ff6e 919d 29ad 1718 63c7 8f0b 97c8 e9ae 82ae 43d3";
+  const std::string hex2 = "4883 640e ffc1 c0bf";
+  const std::string hex3 =
+      "88c1 6196 d07a be94 1054 d444 a820 0595 040b 8166 e084 a62d 1bff c05a "
+      "839b d9ab 77ad 94e7 821d d7f2 e6c7 b335 dfdf cd5b 3960 d5af 2708 7f36 "
+      "72c1 ab27 0fb5 291f 9587 3160 65c0 03ed 4ee5 b106 3d50 07";
+
+  const std::vector<TableEntry> after3{
+      {"set-cookie",
+       "foo=ASDJKHQKBZXOQWEOPIUAXQWEOIU; max-age=3600; version=1", 98},
+      {"content-encoding", "gzip", 52},
+      {"date", "Mon, 21 Oct 2013 20:13:22 GMT", 65}};
+
+  h2::HpackDecoder decoder(256);
+  expect_decodes_to(decoder, hex1, resp1);
+  EXPECT_EQ(decoder.table().size(), 222u);
+  expect_decodes_to(decoder, hex2, resp2);
+  EXPECT_EQ(decoder.table().size(), 222u);
+  expect_decodes_to(decoder, hex3, resp3);
+  expect_table(decoder.table(), after3, 215);
+
+  h2::HpackEncoder encoder(256);
+  expect_encodes_to(encoder, resp1, true, hex1);
+  expect_encodes_to(encoder, resp2, true, hex2);
+  expect_encodes_to(encoder, resp3, true, hex3);
+  expect_table(encoder.table(), after3, 215);
+}
+
+// Dynamic table size update (RFC 7541 §6.3): shrinking to zero evicts
+// everything; the encoder signals it at the start of the next block.
+TEST(HpackRfc7541, TableSizeUpdateEvictsEverything) {
+  h2::HpackDecoder decoder;
+  expect_decodes_to(
+      decoder,
+      "400a 6375 7374 6f6d 2d6b 6579 0d63 7573 746f 6d2d 6865 6164 6572",
+      {{"custom-key", "custom-header"}});
+  ASSERT_EQ(decoder.table().entry_count(), 1u);
+  // "20" = size update to 0, then an indexed static field.
+  expect_decodes_to(decoder, "20 82", {{":method", "GET"}});
+  EXPECT_EQ(decoder.table().entry_count(), 0u);
+  EXPECT_EQ(decoder.table().size(), 0u);
+  EXPECT_EQ(decoder.table().max_size(), 0u);
+}
+
+}  // namespace
+}  // namespace h2push

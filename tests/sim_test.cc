@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "fuzz/invariants.h"
 #include "sim/conditions.h"
 #include "sim/link.h"
 #include "sim/simulator.h"
@@ -259,6 +260,10 @@ TEST(Link, DropsWhenQueueFull) {
   sim.run();
   EXPECT_EQ(delivered, 2);
   EXPECT_EQ(link.queued_bytes(), 0u);
+  EXPECT_EQ(link.accepted_bytes(), 2500u);
+  EXPECT_EQ(link.delivered_bytes(), 2500u);
+  EXPECT_EQ(link.dropped_bytes(), 1500u);
+  if (const auto v = fuzz::check_link_conservation(link)) FAIL() << *v;
 }
 
 TEST(Link, ExtraDelayAddsToPropagation) {
@@ -278,6 +283,9 @@ TEST(Link, ExtraDelayAddsToPropagation) {
 
 struct TcpHarness {
   Simulator sim;
+  // Every TCP test also runs under the mini-fuzz invariant checker: time
+  // monotonic, pool accounting exact (fuzz/invariants.h).
+  fuzz::SimChecker checker{sim};
   Link down, up;
   std::unique_ptr<TcpConnection> tcp;
   std::size_t client_received = 0;
@@ -350,6 +358,10 @@ TEST(Tcp, DeliversOrderedContent) {
   EXPECT_EQ(h.client_received, 300000u);
   EXPECT_FALSE(h.mismatch);
   EXPECT_EQ(h.tcp->retransmissions(), 0u);
+  ASSERT_FALSE(h.checker.violation().has_value()) << *h.checker.violation();
+  if (const auto leak = fuzz::check_drained(h.sim)) FAIL() << *leak;
+  if (const auto v = fuzz::check_link_conservation(h.down)) FAIL() << *v;
+  if (const auto v = fuzz::check_link_conservation(h.up)) FAIL() << *v;
 }
 
 TEST(Tcp, SlowStartLimitsFirstRoundTrip) {
@@ -390,6 +402,11 @@ TEST_P(TcpLossRecovery, RecoversContentUnderHeavyLoss) {
   EXPECT_EQ(h.client_received, 200000u);
   EXPECT_FALSE(h.mismatch);
   EXPECT_GT(h.tcp->retransmissions(), 0u);
+  // Under loss, dropped packets must never enter the queue: conservation
+  // still holds on the delivered side.
+  ASSERT_FALSE(h.checker.violation().has_value()) << *h.checker.violation();
+  if (const auto v = fuzz::check_link_conservation(h.down)) FAIL() << *v;
+  if (const auto v = fuzz::check_link_conservation(h.up)) FAIL() << *v;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TcpLossRecovery,
