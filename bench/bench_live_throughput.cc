@@ -1,0 +1,98 @@
+// Live serving throughput: h2pushd core + h2pushload core, in-process.
+//
+// Starts net::Server on loopback at 1/2/4 accept threads and drives it
+// with the closed-loop load generator, reporting requests/sec, conn/sec
+// and latency quantiles per thread count. This is the live analogue of the
+// simulator throughput harnesses: the acceptance floor for the serving
+// layer is >= 10k req/s on loopback in a release build at some thread
+// count, recorded machine-readably in BENCH_live_throughput.json.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "net/client.h"
+#include "net/corpus.h"
+#include "net/server.h"
+#include "stats/cdf.h"
+
+int main(int argc, char** argv) {
+  using namespace h2push;
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::header("Live serving throughput (src/net/)",
+                "serving-layer capacity; no direct paper figure — the "
+                "infrastructure floor for live replay experiments");
+
+  net::LiveCorpusConfig corpus_config;
+  corpus_config.profile = "top100";
+  corpus_config.sites = 2;
+  corpus_config.seed = 11;
+  const net::LiveCorpus corpus = net::build_live_corpus(corpus_config);
+  std::printf("corpus: %d sites, %zu urls\n", corpus_config.sites,
+              corpus.all_urls.size());
+
+  const double duration_s = quick ? 0.5 : 3.0;
+  const std::vector<int> thread_counts = {1, 2, 4};
+
+  bench::BenchReport report;
+  report.name = "live_throughput";
+  report.jobs = 4;
+  bench::Stopwatch total;
+  double best_rps = 0;
+
+  std::printf("\n%-8s %-12s %-12s %-10s %-10s %-10s\n", "threads", "req/s",
+              "conn", "p50 ms", "p90 ms", "p99 ms");
+  for (const int threads : thread_counts) {
+    net::ServerConfig sc;
+    sc.store = &corpus.store;
+    sc.origins = &corpus.origins;
+    sc.policies = &corpus.policies;
+    sc.threads = threads;
+    net::Server server(sc);
+    if (!server.start()) {
+      std::fprintf(stderr, "bind failed: %s\n", server.error().c_str());
+      return 1;
+    }
+
+    net::LoadConfig load;
+    load.port = server.port();
+    load.connections = threads * 4;
+    load.threads = threads;
+    load.max_concurrent_streams = 16;
+    load.duration_s = duration_s;
+    load.urls = &corpus.all_urls;
+    const net::LoadResult result = net::run_load(load);
+    server.shutdown(2000);
+
+    stats::Cdf latency;
+    latency.add_all(result.latency_ms);
+    const double p50 = latency.empty() ? 0 : latency.value_at(0.50);
+    const double p90 = latency.empty() ? 0 : latency.value_at(0.90);
+    const double p99 = latency.empty() ? 0 : latency.value_at(0.99);
+    std::printf("%-8d %-12.0f %-12llu %-10.3f %-10.3f %-10.3f\n", threads,
+                result.requests_per_sec(),
+                static_cast<unsigned long long>(result.connections_opened),
+                p50, p90, p99);
+    if (result.connection_errors > 0 || result.requests_failed > 0) {
+      std::printf("  (errors: %llu conn, %llu requests)\n",
+                  static_cast<unsigned long long>(result.connection_errors),
+                  static_cast<unsigned long long>(result.requests_failed));
+    }
+
+    const std::string key = "requests_per_sec_threads" +
+                            std::to_string(threads);
+    report.extra[key] = result.requests_per_sec();
+    report.extra["latency_p50_ms_threads" + std::to_string(threads)] = p50;
+    report.total_loads += result.requests_ok;
+    if (result.requests_per_sec() > best_rps) {
+      best_rps = result.requests_per_sec();
+    }
+  }
+
+  report.runs = static_cast<int>(thread_counts.size());
+  report.elapsed_s = total.seconds();
+  report.extra["requests_per_sec"] = best_rps;
+  bench::write_report(report);
+  std::printf("\nbest: %.0f req/s (floor for release builds: 10000)\n",
+              best_rps);
+  return 0;
+}

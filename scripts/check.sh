@@ -52,7 +52,8 @@ UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
 echo "=== sanitizers: TSan on the parallel runner + fuzz smoke (build-tsan/) ==="
 cmake -B build-tsan -S . -DH2PUSH_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" --target runner_test \
-  fuzz_frame_test fuzz_hpack_test fuzz_connection_test fuzz_sim_test
+  fuzz_frame_test fuzz_hpack_test fuzz_connection_test fuzz_sim_test \
+  live_loopback_test
 # Force a multi-threaded sweep even on 1-core CI boxes.
 H2PUSH_JOBS=4 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R ParallelRunner
@@ -61,5 +62,10 @@ H2PUSH_JOBS=4 TSAN_OPTIONS=halt_on_error=1 \
 # share with the threaded runner.
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R 'Fuzz'
+# Live serving loopback smoke under TSan: multi-threaded accept (SO_REUSEPORT
+# workers), cross-thread shutdown/post, and the load generator's worker
+# threads all race-checked over real sockets.
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R 'LiveLoopback'
 
 echo "=== OK ==="

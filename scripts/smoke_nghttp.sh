@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Interop smoke: serve a generated corpus with h2pushd and fetch it with
+# off-the-shelf HTTP/2 clients (nghttp, then curl --http2-prior-knowledge).
+# The daemon speaks cleartext h2 with prior knowledge (no TLS/ALPN), which
+# both tools support against http:// URLs. Skips cleanly (exit 0, "SKIP")
+# when neither tool is installed — CI images without nghttp2 stay green.
+#
+#   scripts/smoke_nghttp.sh            # build h2pushd if needed, run smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+nghttp_bin=$(command -v nghttp || true)
+curl_bin=$(command -v curl || true)
+curl_h2=""
+if [[ -n "$curl_bin" ]] && "$curl_bin" --help all 2>/dev/null | \
+     grep -q http2-prior-knowledge; then
+  curl_h2=yes
+fi
+if [[ -z "$nghttp_bin" && -z "$curl_h2" ]]; then
+  echo "SKIP: neither nghttp nor curl with --http2-prior-knowledge found"
+  exit 0
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target h2pushd >/dev/null
+
+port=$((20000 + RANDOM % 20000))
+log=$(mktemp)
+./build/tools/h2pushd --port "$port" --sites 1 --seed 3 \
+  --push-strategy all 2>"$log" &
+daemon=$!
+trap 'kill -TERM "$daemon" 2>/dev/null || true; wait "$daemon" 2>/dev/null || true; rm -f "$log"' EXIT
+
+# Wait for the listening line (the daemon prints it after bind).
+for _ in $(seq 1 50); do
+  grep -q "listening on" "$log" && break
+  sleep 0.1
+done
+grep -q "listening on" "$log" || { cat "$log" >&2; exit 1; }
+
+status=0
+if [[ -n "$nghttp_bin" ]]; then
+  echo "=== nghttp GET / (expects 200 + pushed streams) ==="
+  out=$("$nghttp_bin" -nv "http://127.0.0.1:$port/" 2>&1) || status=1
+  echo "$out" | grep -q ":status: 200" || {
+    echo "FAIL: nghttp saw no 200" >&2; echo "$out" | tail -30 >&2; status=1;
+  }
+  # push-strategy all on the landing page: at least one PUSH_PROMISE.
+  echo "$out" | grep -qi "PUSH_PROMISE" || {
+    echo "FAIL: nghttp saw no PUSH_PROMISE" >&2; status=1;
+  }
+  [[ "$status" == 0 ]] && echo "nghttp OK (200 + push)"
+else
+  echo "SKIP: nghttp not installed"
+fi
+
+if [[ -n "$curl_h2" ]]; then
+  echo "=== curl --http2-prior-knowledge GET / (expects 200 + body) ==="
+  body=$("$curl_bin" -s --http2-prior-knowledge \
+          -o - -w '\n%{http_code} %{size_download}' \
+          "http://127.0.0.1:$port/") || status=1
+  code_size=$(printf '%s' "$body" | tail -n1)
+  code=${code_size%% *}
+  size=${code_size##* }
+  if [[ "$code" != "200" || "$size" == "0" ]]; then
+    echo "FAIL: curl got code=$code size=$size" >&2
+    status=1
+  else
+    echo "curl OK (200, $size bytes)"
+  fi
+else
+  echo "SKIP: curl lacks --http2-prior-knowledge"
+fi
+
+kill -TERM "$daemon"
+wait "$daemon" || true
+grep -q "h2pushd: done" "$log" || {
+  echo "FAIL: daemon did not drain cleanly" >&2; cat "$log" >&2; status=1;
+}
+exit "$status"

@@ -103,6 +103,12 @@ class Connection {
   /// Queue an extension frame (e.g. a CACHE_DIGEST after SETTINGS).
   void submit_extension(const ExtensionFrame& frame);
 
+  /// Queue a GOAWAY advertising the highest peer stream processed, without
+  /// tearing the connection down: in-flight streams still drain. Used by
+  /// the live daemon's graceful SIGTERM drain (src/net/).
+  void submit_goaway(ErrorCode error = ErrorCode::kNoError,
+                     const std::string& debug_data = "");
+
   // --- server API ---
   /// Reserve an (even) push stream on `parent`; queues PUSH_PROMISE.
   /// Returns 0 if the peer disabled push or the parent is gone.
@@ -116,9 +122,22 @@ class Connection {
   // --- transport glue ---
   void receive(std::span<const std::uint8_t> bytes);
   bool want_write() const;
+  /// True when nothing is queued AND no stream still holds response data —
+  /// even flow-control-blocked data want_write() would not report. The
+  /// drain-safe close condition for the live daemon.
+  bool send_quiescent() const;
   /// Produce up to ~max_bytes of wire bytes (may overshoot by one frame so
   /// frames are never split across scheduling decisions).
   std::vector<std::uint8_t> produce(std::size_t max_bytes);
+  /// Partial-write variant for bounded socket buffers (src/net/): appends
+  /// at most `max_bytes` bytes to `out` — a hard cap, never an overshoot.
+  /// Control frames are split at byte granularity across calls (the
+  /// continuation resumes mid-frame on the next call); DATA frames are
+  /// sized down to the remaining budget. Returns the bytes appended. When
+  /// it returns 0 with want_write() still true, the budget was too small
+  /// to fit a DATA frame header — call again once the socket drains.
+  std::size_t produce_into(std::vector<std::uint8_t>& out,
+                           std::size_t max_bytes);
 
   /// Replace the DATA scheduler (server side: interleaving experiments).
   /// Must be called before any stream exists.
@@ -213,6 +232,8 @@ class Connection {
   std::uint64_t recv_unacked_ = 0;
 
   std::deque<std::vector<std::uint8_t>> control_queue_;
+  std::size_t control_offset_ = 0;  // produce_into: bytes already emitted
+                                    // from the front control chunk
   std::vector<std::uint8_t> hpack_scratch_;  // reused per header block
   std::uint64_t total_data_sent_ = 0;
   std::string last_error_;

@@ -68,6 +68,7 @@ enum class SettingsId : std::uint16_t {
   kMaxHeaderListSize = 0x6,
 };
 
+constexpr std::size_t kFrameHeaderSize = 9;  ///< §4.1 fixed frame header
 constexpr std::uint32_t kDefaultInitialWindow = 65535;
 constexpr std::uint32_t kDefaultMaxFrameSize = 16384;
 constexpr std::uint32_t kMaxWindow = 0x7fffffff;

@@ -1,0 +1,71 @@
+// Live-corpus assembly: many generated sites merged into one serving set.
+//
+// The simulator replays one site per run; the daemon serves a whole corpus
+// from one process, so the per-site record stores and origin maps are
+// merged here. Push policies stay per-site (trigger = the site's landing
+// page) and are looked up by :authority at request time. Both h2pushd and
+// h2pushload build the same corpus from the same (profile, sites, seed)
+// triple, which is how the load generator knows the URL set without any
+// out-of-band manifest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "replay/origin.h"
+#include "replay/record.h"
+#include "server/replay_server.h"
+#include "web/corpus.h"
+
+namespace h2push::net {
+
+/// Scheduler choice for the serving path (paper Fig. 5a arms).
+enum class SchedulerKind : std::uint8_t {
+  kParentFirst,   // h2o default dependency tree
+  kInterleaving,  // the paper's modified scheduler
+};
+
+/// What the daemon pushes on each site's landing-page request.
+struct PushStrategySpec {
+  enum class Kind : std::uint8_t {
+    kNone,     // serve only what is asked
+    kAll,      // push every pushable object (paper §4.2.1 push-all)
+    kFirstN,   // push the first n in document order (paper Fig. 3b)
+  };
+  Kind kind = Kind::kNone;
+  std::size_t first_n = 0;
+
+  /// Parse "none" | "all" | "first-n:<n>"; empty on failure.
+  static std::optional<PushStrategySpec> parse(const std::string& text);
+  std::string to_string() const;
+};
+
+struct LiveCorpus {
+  replay::RecordStore store;
+  replay::OriginMap origins;
+  /// Trigger host (site landing :authority) → policy.
+  std::map<std::string, server::PushPolicy> policies;
+  /// Landing-page URL per site, "<host> <path>".
+  std::vector<std::pair<std::string, std::string>> landing_pages;
+  /// Every (host, path) served, in deterministic order.
+  std::vector<std::pair<std::string, std::string>> all_urls;
+};
+
+struct LiveCorpusConfig {
+  std::string profile = "top100";  // top100 | random100
+  int sites = 4;
+  std::uint64_t seed = 1;
+  SchedulerKind scheduler = SchedulerKind::kParentFirst;
+  PushStrategySpec push;
+  std::size_t interleave_offset = 4096;
+};
+
+/// Deterministic in the config: both ends of a load test agree byte-for-
+/// byte on stores and URL sets.
+LiveCorpus build_live_corpus(const LiveCorpusConfig& config);
+
+}  // namespace h2push::net

@@ -1,0 +1,76 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/posix.h"
+
+namespace h2push::net {
+
+Listener::Listener(EventLoop& loop, const std::string& bind_addr,
+                   std::uint16_t port, AcceptFn on_accept)
+    : loop_(loop), on_accept_(std::move(on_accept)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // SO_REUSEPORT lets every serving thread bind its own socket to the same
+  // port; the kernel hashes incoming 4-tuples across them.
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad bind address: " + bind_addr;
+    util::posix::close_retry(fd_);
+    fd_ = -1;
+    return;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd_, 1024) < 0) {
+    error_ = std::string("bind/listen: ") + std::strerror(errno);
+    util::posix::close_retry(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  loop_.add_fd(fd_, EventLoop::kReadable,
+               [this](std::uint32_t) { on_readable(); });
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ < 0) return;
+  loop_.remove_fd(fd_);
+  util::posix::close_retry(fd_);
+  fd_ = -1;
+}
+
+void Listener::on_readable() {
+  // Drain the accept queue: level-triggered epoll would re-arm anyway, but
+  // accepting in a batch halves wakeups under load.
+  while (fd_ >= 0) {
+    const int client = util::posix::accept_retry(
+        fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) {
+      // EAGAIN: queue drained. ECONNABORTED/EMFILE and friends: drop this
+      // round and keep serving; the listener itself is still healthy.
+      return;
+    }
+    util::posix::set_tcp_nodelay(client);
+    on_accept_(client);
+  }
+}
+
+}  // namespace h2push::net

@@ -1,0 +1,48 @@
+// TCP listener with SO_REUSEPORT multi-thread accept.
+//
+// Each serving thread owns one Listener bound to the same port: the kernel
+// load-balances incoming connections across the listening sockets, so
+// accept needs no shared lock and no thundering herd — the h2o/nginx
+// `reuseport` deployment model the ROADMAP's scaling PRs assume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/event_loop.h"
+
+namespace h2push::net {
+
+class Listener {
+ public:
+  /// Called on the loop thread with a connected, nonblocking, cloexec fd.
+  using AcceptFn = std::function<void(int fd)>;
+
+  /// Bind 127.0.0.1-or-`bind_addr`:`port` (port 0 picks an ephemeral port;
+  /// read it back via port()) and register with `loop`. Aborts via
+  /// last_error() (empty fd) rather than exceptions: valid() tells.
+  Listener(EventLoop& loop, const std::string& bind_addr, std::uint16_t port,
+           AcceptFn on_accept);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& last_error() const noexcept { return error_; }
+
+  /// Stop accepting and close the socket (idempotent; graceful drain).
+  void close();
+
+ private:
+  void on_readable();
+
+  EventLoop& loop_;
+  AcceptFn on_accept_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+};
+
+}  // namespace h2push::net

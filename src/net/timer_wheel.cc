@@ -1,0 +1,64 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+
+namespace h2push::net {
+
+TimerWheel::TimerId TimerWheel::schedule(std::uint64_t delay_ms, Callback cb) {
+  const TimerId id = next_id_++;
+  const std::uint64_t deadline = last_ms_ + delay_ms;
+  const std::size_t slot = deadline % kSlots;
+  slots_[slot].push_back(Entry{id, deadline, std::move(cb)});
+  live_.emplace(id, slot);
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  auto& slot = slots_[it->second];
+  for (auto e = slot.begin(); e != slot.end(); ++e) {
+    if (e->id == id) {
+      slot.erase(e);
+      break;
+    }
+  }
+  live_.erase(it);
+  return true;
+}
+
+void TimerWheel::advance(std::uint64_t now_ms) {
+  if (now_ms <= last_ms_) return;
+  // Visit each slot at most once per revolution: if time jumped more than
+  // a full revolution, every slot is due anyway.
+  const std::uint64_t ticks = std::min<std::uint64_t>(now_ms - last_ms_,
+                                                      kSlots);
+  const std::uint64_t first = last_ms_ + 1;
+  last_ms_ = now_ms;
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    auto& slot = slots_[(first + t) % kSlots];
+    for (auto e = slot.begin(); e != slot.end();) {
+      if (e->deadline_ms <= now_ms) {
+        Callback cb = std::move(e->cb);
+        live_.erase(e->id);
+        e = slot.erase(e);
+        // Fire after unlinking: the callback may re-arm or cancel timers.
+        cb();
+      } else {
+        ++e;  // later revolution
+      }
+    }
+  }
+}
+
+std::int64_t TimerWheel::ms_until_next(std::uint64_t now_ms) const {
+  if (live_.empty()) return -1;
+  std::uint64_t best = ~std::uint64_t{0};
+  for (const auto& slot : slots_) {
+    for (const auto& e : slot) best = std::min(best, e.deadline_ms);
+  }
+  if (best <= now_ms) return 0;
+  return static_cast<std::int64_t>(best - now_ms);
+}
+
+}  // namespace h2push::net

@@ -26,7 +26,8 @@ ReplayServer::ReplayServer(sim::Simulator& sim, Config config, util::Rng rng)
     }
   };
   conn_ = std::make_unique<h2::Connection>(cc, std::move(cbs));
-  if (config_.policy && config_.policy->interleaving) {
+  if (config_.interleaving ||
+      (config_.policy && config_.policy->interleaving)) {
     auto sched = std::make_unique<InterleavingScheduler>();
     interleaver_ = sched.get();
     conn_->set_scheduler(std::move(sched));
@@ -40,11 +41,31 @@ ReplayServer::ReplayServer(sim::Simulator& sim, Config config, util::Rng rng)
   conn_->start();
 }
 
+const PushPolicy* ReplayServer::match_policy(const std::string& authority,
+                                             const std::string& path) const {
+  if (config_.policy && config_.policy->trigger_host == authority &&
+      config_.policy->trigger_path == path) {
+    return &*config_.policy;
+  }
+  if (config_.policies != nullptr) {
+    const auto it = config_.policies->find(authority);
+    if (it != config_.policies->end() && it->second.trigger_path == path) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
 void ReplayServer::on_request(std::uint32_t stream,
                               http::HeaderBlock headers) {
-  const std::string authority(http::find_header(headers, ":authority"));
+  ++requests_served_;
+  std::string authority(http::find_header(headers, ":authority"));
   const std::string path(http::find_header(headers, ":path"));
   const auto* exchange = config_.store->find(authority, path);
+  if (exchange == nullptr && !config_.default_authority.empty()) {
+    exchange = config_.store->find(config_.default_authority, path);
+    if (exchange != nullptr) authority = config_.default_authority;
+  }
   if (exchange == nullptr) {
     http::Response not_found;
     not_found.status = 404;
@@ -52,25 +73,23 @@ void ReplayServer::on_request(std::uint32_t stream,
     conn_->submit_response(stream, not_found.to_h2_headers(), nullptr);
     return;
   }
-  const bool is_trigger = config_.policy &&
-                          config_.policy->trigger_host == authority &&
-                          config_.policy->trigger_path == path;
+  const PushPolicy* policy = match_policy(authority, path);
   if (config_.trace != nullptr) {
     config_.trace->instant(config_.trace_track, "server", "request",
                            {{"stream", stream},
                             {"path", authority + path},
-                            {"trigger", is_trigger ? 1 : 0}});
+                            {"trigger", policy != nullptr ? 1 : 0}});
   }
-  const auto respond_now = [this, stream, exchange, is_trigger] {
+  const auto respond_now = [this, stream, exchange, policy] {
     // Cork the transport while the whole response (push promises, pushed
     // responses, the parent response) is queued, so the stream scheduler —
     // not submission order — decides what goes on the wire first. Push
     // promises are sent before the parent response so the client learns
     // about them before it could discover and request the resources.
     corked_ = true;
-    if (is_trigger) apply_push_policy(stream);
-    if (is_trigger && !config_.policy->hint_urls.empty()) {
-      respond_with_hints(stream, *exchange, config_.policy->hint_urls);
+    if (policy != nullptr) apply_push_policy(stream, *policy);
+    if (policy != nullptr && !policy->hint_urls.empty()) {
+      respond_with_hints(stream, *exchange, policy->hint_urls);
     } else {
       respond(stream, *exchange);
     }
@@ -108,8 +127,8 @@ void ReplayServer::respond_with_hints(std::uint32_t stream,
   conn_->submit_response(stream, headers, ex.body);
 }
 
-void ReplayServer::apply_push_policy(std::uint32_t parent_stream) {
-  const PushPolicy& policy = *config_.policy;
+void ReplayServer::apply_push_policy(std::uint32_t parent_stream,
+                                     const PushPolicy& policy) {
   std::set<std::uint32_t> critical;
   std::size_t index = 0;
   for (const auto& push_url : policy.push_urls) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -60,6 +61,19 @@ class ReplayServer {
     /// Push policy; only applied when the trigger request arrives on this
     /// connection. Optional: plain serving otherwise.
     std::optional<PushPolicy> policy;
+    /// Multi-site policy table (live daemon): trigger host → policy,
+    /// consulted when `policy` does not match. Not owned; must outlive the
+    /// session. Policies here apply when a request hits their
+    /// trigger_host + trigger_path.
+    const std::map<std::string, PushPolicy>* policies = nullptr;
+    /// Install the InterleavingScheduler even when `policy` alone would
+    /// not (required when any entry of `policies` interleaves: the
+    /// scheduler must exist before the trigger request arrives).
+    bool interleaving = false;
+    /// Fallback :authority when the requested one has no record — lets
+    /// off-the-shelf clients (nghttp, curl) that send "127.0.0.1:port" as
+    /// authority reach a recorded site. Empty = strict matching.
+    std::string default_authority;
     /// Per-response server think time (0 in the deterministic testbed).
     sim::Time think_time_mean = 0;
     /// Optional trace recorder shared with the whole run; events land on
@@ -79,6 +93,7 @@ class ReplayServer {
     write_ready_ = std::move(cb);
   }
 
+  std::uint64_t requests_served() const noexcept { return requests_served_; }
   std::uint64_t pushed_streams() const noexcept { return pushed_streams_; }
   std::uint64_t push_promises_sent() const noexcept {
     return push_promises_sent_;
@@ -90,11 +105,14 @@ class ReplayServer {
 
  private:
   void on_request(std::uint32_t stream, http::HeaderBlock headers);
+  const PushPolicy* match_policy(const std::string& authority,
+                                 const std::string& path) const;
   void respond(std::uint32_t stream, const replay::RecordedExchange& ex);
   void respond_with_hints(std::uint32_t stream,
                           const replay::RecordedExchange& ex,
                           const std::vector<std::string>& hints);
-  void apply_push_policy(std::uint32_t parent_stream);
+  void apply_push_policy(std::uint32_t parent_stream,
+                         const PushPolicy& policy);
 
   sim::Simulator& sim_;
   Config config_;
@@ -105,6 +123,7 @@ class ReplayServer {
   bool corked_ = false;  // hold writes while a response is being assembled
   h2::CacheDigest digest_;
   bool has_digest_ = false;
+  std::uint64_t requests_served_ = 0;
   std::uint64_t pushed_streams_ = 0;
   std::uint64_t push_promises_sent_ = 0;
   std::uint64_t pushes_skipped_by_digest_ = 0;

@@ -335,6 +335,142 @@ TEST(Connection, GarbageInputRaisesConnectionError) {
   EXPECT_FALSE(p.server->last_error().empty());
 }
 
+// --- produce_into: the bounded-buffer variant used by src/net/ ---
+//
+// The simulator's testbed calls produce(); the live daemon calls
+// produce_into(). These regression tests pin down that (a) produce() is
+// bit-exact unchanged, (b) produce_into never exceeds its byte budget, and
+// (c) a connection drained through arbitrarily small budgets still delivers
+// exactly the same bodies.
+
+namespace {
+/// Drive one request/response exchange, draining the server through
+/// `produce` when cap == 0, through produce_into(cap) otherwise; returns
+/// the server's full wire byte stream.
+std::vector<std::uint8_t> drain_server_wire(std::size_t body_size,
+                                            std::size_t cap) {
+  Pair p;
+  const auto id = p.get("/bytes");
+  p.pump();
+  http::Response resp;
+  resp.status = 200;
+  resp.body_size = body_size;
+  p.server->submit_response(id, resp.to_h2_headers(),
+                            Pair::make_body(body_size, 'q'));
+  constexpr std::size_t kUnbounded = std::size_t{1} << 22;
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 100000 && p.server->want_write(); ++i) {
+    if (cap == 0) {
+      const auto bytes = p.server->produce(kUnbounded);
+      wire.insert(wire.end(), bytes.begin(), bytes.end());
+    } else {
+      const std::size_t before = wire.size();
+      const std::size_t n = p.server->produce_into(wire, cap);
+      EXPECT_EQ(n, wire.size() - before);
+      EXPECT_LE(n, cap) << "budget exceeded";
+      if (n == 0) break;  // budget below one DATA header: caller retries
+    }
+  }
+  p.client->receive(wire);
+  EXPECT_EQ(p.body(id), std::string(body_size, 'q'));
+  return wire;
+}
+}  // namespace
+
+TEST(Connection, ProduceIntoUnboundedMatchesProduceExactly) {
+  const auto via_produce = drain_server_wire(50000, 0);
+  const auto via_produce_into = drain_server_wire(50000, SIZE_MAX);
+  EXPECT_EQ(via_produce, via_produce_into);
+}
+
+TEST(Connection, ProduceIntoNeverExceedsSmallBudgets) {
+  // Budgets barely above the 9-byte frame header (1-byte DATA payloads)
+  // through comfortable ones; every drain stays within its cap.
+  for (const std::size_t cap : {10u, 64u, 100u, 1000u}) {
+    const auto wire = drain_server_wire(20000, cap);
+    EXPECT_FALSE(wire.empty());
+  }
+}
+
+TEST(Connection, ProduceIntoBudgetBelowFrameHeaderSplitsControlThenStalls) {
+  Pair p;
+  const auto id = p.get("/tiny");
+  p.pump();
+  http::Response resp;
+  resp.status = 200;
+  resp.body_size = 5000;
+  p.server->submit_response(id, resp.to_h2_headers(),
+                            Pair::make_body(5000));
+  // 3-byte budget: response HEADERS drains in 3-byte slices; DATA cannot
+  // fit so produce_into reports 0 with bytes still owed.
+  std::vector<std::uint8_t> wire;
+  std::size_t n;
+  do {
+    const std::size_t before = wire.size();
+    n = p.server->produce_into(wire, 3);
+    EXPECT_LE(wire.size() - before, 3u);
+  } while (n > 0);
+  EXPECT_TRUE(p.server->want_write());  // stalled, not done
+  // A real-sized budget finishes the job; the client sees a valid stream.
+  while (p.server->want_write()) p.server->produce_into(wire, 4096);
+  p.client->receive(wire);
+  EXPECT_EQ(p.body(id).size(), 5000u);
+}
+
+TEST(Connection, ProduceIntoDeliversSameBodyAcrossChunkings) {
+  // The wire stream differs across budgets (DATA framing), but the byte
+  // content of the response must not.
+  const auto a = drain_server_wire(30000, 17);
+  const auto b = drain_server_wire(30000, 4096);
+  // Frame-agnostic comparison already asserted inside drain_server_wire
+  // (client body == expected). Additionally the tiny-budget stream can
+  // only be larger (more frame headers), never smaller.
+  EXPECT_GE(a.size(), b.size());
+}
+
+TEST(Connection, ProduceIntoInterleavedWithReceiveStaysConsistent) {
+  // Alternate small produce_into drains with client receive/acks so flow
+  // control windows refill mid-drain; invariants must hold throughout.
+  Pair p;
+  const auto id = p.get("/big");
+  p.pump();
+  http::Response resp;
+  resp.status = 200;
+  resp.body_size = 200000;
+  p.server->submit_response(id, resp.to_h2_headers(),
+                            Pair::make_body(200000, 'z'));
+  for (int i = 0; i < 100000 && !p.client_stream_done[id]; ++i) {
+    std::vector<std::uint8_t> chunk;
+    p.server->produce_into(chunk, 1500);  // ~MTU-sized drains
+    if (!chunk.empty()) p.client->receive(chunk);
+    ASSERT_EQ(std::nullopt, p.server->check_invariants());
+    if (p.client->want_write()) {
+      const auto acks = p.client->produce(1 << 20);
+      if (!acks.empty()) p.server->receive(acks);
+    }
+  }
+  EXPECT_EQ(p.body(id).size(), 200000u);
+  EXPECT_EQ(p.server->stream_state(id), StreamState::kClosed);
+}
+
+TEST(Connection, SubmitGoawayLetsStreamsFinish) {
+  Pair p;
+  const auto id = p.get("/drain");
+  p.pump();
+  http::Response resp;
+  resp.status = 200;
+  resp.body_size = 40000;
+  p.server->submit_response(id, resp.to_h2_headers(),
+                            Pair::make_body(40000));
+  p.server->submit_goaway();
+  EXPECT_FALSE(p.server->send_quiescent());  // body still pending
+  p.pump();
+  EXPECT_TRUE(p.client_stream_done[id]);
+  EXPECT_EQ(p.body(id).size(), 40000u);
+  EXPECT_TRUE(p.server->send_quiescent());
+  EXPECT_TRUE(p.client_error.empty());  // graceful GOAWAY, not an error
+}
+
 TEST(Connection, BadPrefaceIsRejected) {
   Connection::Config sc;
   sc.role = Role::kServer;

@@ -1,0 +1,152 @@
+// util::posix wrapper tests: EINTR retry behaviour, SIGPIPE suppression,
+// nonblocking flags. These exercise real signals and real sockets — the
+// failure mode they guard against (a SIGPIPE killing the load generator
+// mid-run, an EINTR aborting a read under a profiler) is process death,
+// so simply surviving the test body is part of the assertion.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "util/posix.h"
+
+namespace h2push::util::posix {
+namespace {
+
+TEST(Posix, WouldBlockClassifiesOnlyEagain) {
+  EXPECT_TRUE(would_block(EAGAIN));
+  EXPECT_TRUE(would_block(EWOULDBLOCK));
+  EXPECT_FALSE(would_block(EPIPE));
+  EXPECT_FALSE(would_block(EINTR));
+  EXPECT_FALSE(would_block(0));
+}
+
+TEST(Posix, ReadWriteRetryRoundTrip) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  const char msg[] = "hello";
+  EXPECT_EQ(static_cast<ssize_t>(sizeof(msg)),
+            write_retry(fds[1], msg, sizeof(msg)));
+  char buf[16] = {};
+  EXPECT_EQ(static_cast<ssize_t>(sizeof(msg)),
+            read_retry(fds[0], buf, sizeof(buf)));
+  EXPECT_STREQ("hello", buf);
+  EXPECT_EQ(0, close_retry(fds[0]));
+  EXPECT_EQ(0, close_retry(fds[1]));
+}
+
+TEST(Posix, SendRetrySuppressesSigpipeViaMsgNosignal) {
+  // Deliberately does NOT call ignore_sigpipe(): MSG_NOSIGNAL alone must
+  // turn the broken-pipe signal into an EPIPE errno.
+  int sv[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  ASSERT_EQ(0, close_retry(sv[1]));
+  const char byte = 'x';
+  errno = 0;
+  const ssize_t n = send_retry(sv[0], &byte, 1);
+  EXPECT_EQ(-1, n);
+  EXPECT_EQ(EPIPE, errno);  // and the process is still alive
+  EXPECT_EQ(0, close_retry(sv[0]));
+}
+
+TEST(Posix, IgnoreSigpipeMakesRawWriteSafe) {
+  ignore_sigpipe();
+  ignore_sigpipe();  // idempotent
+  int sv[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+  ASSERT_EQ(0, close_retry(sv[1]));
+  const char byte = 'x';
+  errno = 0;
+  EXPECT_EQ(-1, write_retry(sv[0], &byte, 1));
+  EXPECT_EQ(EPIPE, errno);
+  EXPECT_EQ(0, close_retry(sv[0]));
+}
+
+TEST(Posix, SetNonblockingTurnsEmptyReadIntoEagain) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  ASSERT_EQ(0, set_nonblocking(fds[0]));
+  char buf[1];
+  errno = 0;
+  EXPECT_EQ(-1, read_retry(fds[0], buf, 1));
+  EXPECT_TRUE(would_block(errno));
+  EXPECT_EQ(0, close_retry(fds[0]));
+  EXPECT_EQ(0, close_retry(fds[1]));
+}
+
+TEST(Posix, SetCloexecSetsFlag) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  ASSERT_EQ(0, set_cloexec(fds[0]));
+  EXPECT_NE(0, ::fcntl(fds[0], F_GETFD, 0) & FD_CLOEXEC);
+  EXPECT_EQ(0, close_retry(fds[0]));
+  EXPECT_EQ(0, close_retry(fds[1]));
+}
+
+TEST(Posix, CloseRetryReportsBadFd) {
+  errno = 0;
+  EXPECT_EQ(-1, close_retry(-1));
+  EXPECT_EQ(EBADF, errno);
+}
+
+std::atomic<int> g_usr1_hits{0};
+
+TEST(Posix, ReadRetrySurvivesSignalInterruptions) {
+  // Install a SIGUSR1 handler WITHOUT SA_RESTART so a blocking read really
+  // returns EINTR, then pepper the reading thread with signals before
+  // delivering data: read_retry must return the data, never -1/EINTR.
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) { g_usr1_hits.fetch_add(1); };
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART
+  struct sigaction old = {};
+  ASSERT_EQ(0, ::sigaction(SIGUSR1, &sa, &old));
+
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  std::atomic<bool> reading{false};
+  ssize_t got = 0;
+  char buf[8] = {};
+  std::thread reader([&] {
+    reading.store(true);
+    got = read_retry(fds[0], buf, sizeof(buf));
+  });
+  while (!reading.load()) std::this_thread::yield();
+  const pthread_t handle = reader.native_handle();
+  for (int i = 0; i < 20; ++i) {
+    pthread_kill(handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(2, write_retry(fds[1], "ok", 2));
+  reader.join();
+  EXPECT_EQ(2, got);
+  EXPECT_EQ('o', buf[0]);
+  EXPECT_GT(g_usr1_hits.load(), 0);
+  EXPECT_EQ(0, close_retry(fds[0]));
+  EXPECT_EQ(0, close_retry(fds[1]));
+  ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(Posix, PollRetryTimesOutCleanly) {
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  struct pollfd pfd = {fds[0], POLLIN, 0};
+  EXPECT_EQ(0, poll_retry(&pfd, 1, 10));  // nothing readable: timeout
+  ASSERT_EQ(1, write_retry(fds[1], "x", 1));
+  EXPECT_EQ(1, poll_retry(&pfd, 1, 1000));
+  EXPECT_NE(0, pfd.revents & POLLIN);
+  EXPECT_EQ(0, close_retry(fds[0]));
+  EXPECT_EQ(0, close_retry(fds[1]));
+}
+
+}  // namespace
+}  // namespace h2push::util::posix

@@ -1,0 +1,156 @@
+// h2pushload — h2load-style load generator for h2pushd.
+//
+// Reuses the repo's H2 codec as the client, so a load run doubles as a
+// protocol-conformance pass over a real kernel socket. Builds the same
+// deterministic corpus as the daemon (same --profile/--sites/--seed) to
+// derive the request mix without any out-of-band manifest.
+//
+//   h2pushd --port 8443 &            # same profile/sites/seed on both ends
+//   h2pushload --port 8443 --connections 8 --threads 2 --duration 5
+//
+// Reports requests/sec, connections/sec, and a per-stream latency CDF via
+// src/stats/; --json emits a machine-readable blob for scripts/bench.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/client.h"
+#include "net/corpus.h"
+#include "stats/cdf.h"
+#include "stats/descriptive.h"
+#include "util/posix.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port <n> [options]\n"
+      "  --addr <a>        server address (default 127.0.0.1)\n"
+      "  --port <n>        server port (required)\n"
+      "  --connections <n> concurrent connections (default 4)\n"
+      "  --threads <n>     client event-loop threads (default 1)\n"
+      "  --streams <n>     max concurrent streams per connection (default 8)\n"
+      "  --duration <s>    seconds to run (default 2)\n"
+      "  --enable-push     accept server push (default: SETTINGS disables)\n"
+      "  --landing-only    request only each site's landing page\n"
+      "  --profile/--sites/--seed   corpus triple, must match the daemon\n"
+      "  --json            print a JSON result blob instead of text\n",
+      argv0);
+}
+
+bool next_arg(int argc, char** argv, int& i, const char* name,
+              std::string& out) {
+  if (std::strcmp(argv[i], name) != 0) return false;
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", name);
+    std::exit(2);
+  }
+  out = argv[++i];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace h2push;
+  net::LiveCorpusConfig corpus_config;
+  net::LoadConfig load;
+  bool json = false;
+  bool landing_only = false;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else if (next_arg(argc, argv, i, "--addr", value)) {
+      load.addr = value;
+    } else if (next_arg(argc, argv, i, "--port", value)) {
+      load.port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+    } else if (next_arg(argc, argv, i, "--connections", value)) {
+      load.connections = std::atoi(value.c_str());
+    } else if (next_arg(argc, argv, i, "--threads", value)) {
+      load.threads = std::atoi(value.c_str());
+    } else if (next_arg(argc, argv, i, "--streams", value)) {
+      load.max_concurrent_streams = std::atoi(value.c_str());
+    } else if (next_arg(argc, argv, i, "--duration", value)) {
+      load.duration_s = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--enable-push") == 0) {
+      load.enable_push = true;
+    } else if (std::strcmp(argv[i], "--landing-only") == 0) {
+      landing_only = true;
+    } else if (next_arg(argc, argv, i, "--profile", value)) {
+      corpus_config.profile = value;
+    } else if (next_arg(argc, argv, i, "--sites", value)) {
+      corpus_config.sites = std::atoi(value.c_str());
+    } else if (next_arg(argc, argv, i, "--seed", value)) {
+      corpus_config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (load.port == 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  util::posix::ignore_sigpipe();
+  const net::LiveCorpus corpus = net::build_live_corpus(corpus_config);
+  const auto& urls = landing_only ? corpus.landing_pages : corpus.all_urls;
+  load.urls = &urls;
+
+  std::fprintf(stderr,
+               "h2pushload: %d connections x %d streams over %d threads "
+               "against %s:%u for %.1fs (%zu urls)\n",
+               load.connections, load.max_concurrent_streams, load.threads,
+               load.addr.c_str(), load.port, load.duration_s, urls.size());
+  const net::LoadResult result = net::run_load(load);
+
+  stats::Cdf latency;
+  latency.add_all(result.latency_ms);
+  if (json) {
+    std::printf(
+        "{\"requests_ok\": %llu, \"requests_failed\": %llu, "
+        "\"connections_opened\": %llu, \"connection_errors\": %llu, "
+        "\"push_promises\": %llu, \"bytes_read\": %llu, "
+        "\"elapsed_s\": %.3f, \"requests_per_sec\": %.1f, "
+        "\"connections_per_sec\": %.1f, \"latency_ms_p50\": %.3f, "
+        "\"latency_ms_p90\": %.3f, \"latency_ms_p99\": %.3f}\n",
+        static_cast<unsigned long long>(result.requests_ok),
+        static_cast<unsigned long long>(result.requests_failed),
+        static_cast<unsigned long long>(result.connections_opened),
+        static_cast<unsigned long long>(result.connection_errors),
+        static_cast<unsigned long long>(result.push_promises),
+        static_cast<unsigned long long>(result.bytes_read),
+        result.elapsed_s, result.requests_per_sec(),
+        result.connections_per_sec(),
+        latency.empty() ? 0 : latency.value_at(0.50),
+        latency.empty() ? 0 : latency.value_at(0.90),
+        latency.empty() ? 0 : latency.value_at(0.99));
+    return result.connection_errors == result.connections_opened ? 1 : 0;
+  }
+
+  std::printf("finished in %.2fs\n", result.elapsed_s);
+  std::printf("requests:    %llu ok, %llu failed, %.1f req/s\n",
+              static_cast<unsigned long long>(result.requests_ok),
+              static_cast<unsigned long long>(result.requests_failed),
+              result.requests_per_sec());
+  std::printf("connections: %llu opened (%.1f conn/s), %llu errors\n",
+              static_cast<unsigned long long>(result.connections_opened),
+              result.connections_per_sec(),
+              static_cast<unsigned long long>(result.connection_errors));
+  std::printf("pushes:      %llu promises\n",
+              static_cast<unsigned long long>(result.push_promises));
+  std::printf("traffic:     %.2f MiB read\n",
+              static_cast<double>(result.bytes_read) / (1024.0 * 1024.0));
+  if (!latency.empty()) {
+    std::printf("%s", latency.render("request latency", "ms").c_str());
+  }
+  return result.requests_ok > 0 ? 0 : 1;
+}
